@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper using the
+experiment runners in :mod:`repro.experiments`, prints the resulting rows
+(run pytest with ``-s`` to see them), and asserts the paper's qualitative
+claims about that artifact.
+
+Two environment variables control the cost/fidelity trade-off:
+
+* ``REPRO_BENCH_SCALE`` — multiplier on the per-application trace length
+  (default 0.5; use 1.0 or higher for a full run, 0.2 for a quick smoke).
+* ``REPRO_BENCH_CPUS`` — number of simulated processors (default 4).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def bench_cpus() -> int:
+    return int(os.environ.get("REPRO_BENCH_CPUS", "4"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def num_cpus() -> int:
+    return bench_cpus()
+
+
+def show(table) -> None:
+    """Print an experiment table (visible with ``pytest -s`` or on failure)."""
+    print()
+    print(table.to_text())
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

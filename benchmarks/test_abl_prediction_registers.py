@@ -1,0 +1,57 @@
+"""Ablation — prediction registers and stream bandwidth.
+
+Table 1 provisions 16 SMS stream request slots.  This ablation varies the
+number of prediction registers and the per-access stream issue bandwidth and
+checks that the paper's provisioning is in the knee of the curve: a single
+register (or a single request per access) costs coverage, while going beyond
+16 registers buys nothing.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.analysis.coverage import coverage_from_result
+from repro.analysis.reporting import ResultTable
+from repro.core import SMSConfig
+from repro.experiments import common
+
+#: (prediction registers, max stream requests per access) points swept.
+POINTS = [(1, 1), (4, 4), (16, None), (64, None)]
+
+
+def run_ablation(scale: float, num_cpus: int) -> ResultTable:
+    table = ResultTable(
+        title="Ablation: prediction registers / stream bandwidth vs L1 coverage",
+        headers=["category", "registers", "max_requests", "coverage"],
+    )
+    config = common.default_config(num_cpus=num_cpus)
+    for category in ("OLTP", "Web"):
+        trace, metadata = common.representative_trace(category, num_cpus=num_cpus, scale=scale)
+        for registers, max_requests in POINTS:
+            sms_config = SMSConfig(
+                prediction_registers=registers,
+                max_requests_per_access=max_requests,
+            )
+            result = common.simulate(
+                trace, common.sms_factory(sms_config), config=config,
+                name=f"{category}-{registers}", metadata=metadata,
+            )
+            table.add_row(
+                category,
+                registers,
+                "unlimited" if max_requests is None else max_requests,
+                coverage_from_result(result, level="L1").coverage,
+            )
+    return table
+
+
+def test_abl_prediction_registers(benchmark, scale, num_cpus):
+    table = run_once(benchmark, run_ablation, scale=scale, num_cpus=num_cpus)
+    show(table)
+    rows = {(row["category"], row["registers"]): row["coverage"] for row in table.to_dicts()}
+
+    for category in ("OLTP", "Web"):
+        # The paper's 16 registers sit at the knee: 1 register with 1 request
+        # per access is no better, and 64 registers add nothing.
+        assert rows[(category, 16)] >= rows[(category, 1)] - 0.02
+        assert abs(rows[(category, 64)] - rows[(category, 16)]) < 0.03
+        # Full provisioning achieves useful coverage.
+        assert rows[(category, 16)] > 0.35

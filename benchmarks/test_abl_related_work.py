@@ -1,0 +1,67 @@
+"""Ablation (Section 5, related work) — SMS versus other predictor classes.
+
+The paper argues that temporal-correlation predictors (recurring miss pairs /
+sequences) cannot capture interleaved spatially-correlated streams and that
+their storage scales with the data set, and that simple stride/sequential
+prefetchers miss the irregular footprints of commercial workloads.  This
+benchmark compares SMS's off-chip coverage against a stride prefetcher, a
+next-line prefetcher, and a Markov-style temporal pair-correlation predictor
+on one interleaved commercial workload and one regular scientific kernel.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.analysis.coverage import coverage_from_result
+from repro.analysis.reporting import ResultTable
+from repro.core import SMSConfig, SpatialMemoryStreaming
+from repro.experiments import common
+from repro.prefetch import NextLinePrefetcher, StridePrefetcher, TemporalCorrelationPrefetcher
+
+
+def _predictors():
+    return {
+        "next-line": lambda cpu: NextLinePrefetcher(degree=1),
+        "stride": lambda cpu: StridePrefetcher(degree=4),
+        "temporal": lambda cpu: TemporalCorrelationPrefetcher(table_entries=16384, degree=2),
+        "sms": lambda cpu: SpatialMemoryStreaming(SMSConfig.paper_practical()),
+    }
+
+
+def run_ablation(scale: float, num_cpus: int) -> ResultTable:
+    table = ResultTable(
+        title="Ablation: SMS vs stride / next-line / temporal correlation (off-chip coverage)",
+        headers=["application", "predictor", "coverage", "overpredictions"],
+    )
+    config = common.default_config(num_cpus=num_cpus)
+    for application in ("oltp-db2", "ocean"):
+        trace, metadata = common.build_trace(application, num_cpus=num_cpus, scale=scale)
+        for name, factory in _predictors().items():
+            result = common.simulate(
+                trace, factory, config=config, name=f"{application}-{name}", metadata=metadata
+            )
+            report = coverage_from_result(result, level="L2")
+            table.add_row(application, name, report.coverage, report.overprediction_fraction)
+    return table
+
+
+def test_abl_related_work(benchmark, scale, num_cpus):
+    table = run_once(benchmark, run_ablation, scale=scale, num_cpus=num_cpus)
+    show(table)
+    rows = {(row["application"], row["predictor"]): row["coverage"] for row in table.to_dicts()}
+
+    # On the interleaved commercial workload SMS clearly beats the
+    # delta/temporal-correlation classes, whose per-PC or per-pair streams are
+    # disrupted by interleaving, and still leads the simple next-line
+    # prefetcher (which rides the dense row runs but mispredicts the sparse
+    # structural footprints).
+    for other in ("stride", "temporal"):
+        assert rows[("oltp-db2", "sms")] > rows[("oltp-db2", other)] + 0.1
+    assert rows[("oltp-db2", "sms")] > rows[("oltp-db2", "next-line")] + 0.02
+
+    # On the regular scientific kernel the simple spatial prefetchers are
+    # competitive (dense sequential footprints), so SMS's advantage there is
+    # not what distinguishes it.
+    assert rows[("ocean", "next-line")] > 0.3 or rows[("ocean", "stride")] > 0.3
+
+    # SMS itself achieves useful coverage on both.
+    assert rows[("oltp-db2", "sms")] > 0.35
+    assert rows[("ocean", "sms")] > 0.6

@@ -1,0 +1,55 @@
+"""Figure 4 — miss rate versus block/region size, with the oracle opportunity.
+
+Paper claims checked:
+
+* the oracle's opportunity keeps growing (miss rate keeps falling) as the
+  spatial region grows towards the 8 kB OS page;
+* simply enlarging the physical cache block is far less effective than the
+  oracle at the L1 because of conflict behaviour (commercial workloads); and
+* at the L2, large blocks suffer false sharing that the oracle does not.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import fig04_block_size
+
+
+def test_fig04_block_size_vs_opportunity(benchmark, scale, num_cpus):
+    table = run_once(
+        benchmark,
+        fig04_block_size.run,
+        categories=["OLTP", "Web", "Scientific"],
+        scale=scale,
+        num_cpus=num_cpus,
+    )
+    show(table)
+    rows = table.to_dicts()
+
+    def value(category, size, column):
+        for row in rows:
+            if row["category"] == category and row["size"] == size:
+                return row[column]
+        raise AssertionError(f"missing row {category}/{size}")
+
+    for category in ("OLTP", "Web", "Scientific"):
+        # 64B is the normalisation point.
+        assert value(category, 64, "l1_miss_rate") == 1.0
+        # Opportunity grows with region size: the oracle at 2kB removes well
+        # over half of the baseline misses, and 8kB is at least as good.
+        assert value(category, 2048, "l1_opportunity") < 0.5
+        assert value(category, 8192, "l1_opportunity") <= value(category, 512, "l1_opportunity")
+        assert value(category, 2048, "l2_opportunity") < 0.6
+
+    for category in ("OLTP", "Web"):
+        # Large physical blocks cannot match the oracle at the L1: by the 8kB
+        # page size, conflict behaviour keeps the big-block cache's miss rate
+        # well above the opportunity line, and the gap grows with block size.
+        assert value(category, 8192, "l1_miss_rate") > 1.3 * value(category, 8192, "l1_opportunity")
+        ratio_small = value(category, 128, "l1_miss_rate") / max(
+            value(category, 128, "l1_opportunity"), 1e-9
+        )
+        ratio_large = value(category, 8192, "l1_miss_rate") / max(
+            value(category, 8192, "l1_opportunity"), 1e-9
+        )
+        assert ratio_large > ratio_small
+        # Beyond the 64B coherence unit, false sharing appears at the L2.
+        assert value(category, 8192, "l2_false_sharing") > 0.0

@@ -1,0 +1,52 @@
+"""Figure 5 — memory access density at 2 kB regions.
+
+Paper claims checked:
+
+* commercial workloads (OLTP, Web) show wide variation in generation density
+  — a substantial fraction of misses comes from sparse (1-7 block)
+  generations *and* a substantial fraction from denser ones; while
+* ocean and sparse are dominated by dense generations,
+
+which is the paper's argument that no single cache block size suffices.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import fig05_density
+
+APPLICATIONS = ["oltp-db2", "dss-qry1", "web-apache", "ocean", "sparse"]
+
+
+def test_fig05_density_breakdown(benchmark, scale, num_cpus):
+    table = run_once(
+        benchmark,
+        fig05_density.run,
+        applications=APPLICATIONS,
+        scale=scale,
+        num_cpus=num_cpus,
+    )
+    show(table)
+    rows = {(row["application"], row["level"]): row for row in table.to_dicts()}
+
+    sparse_bins = ["1 block", "2-3 blocks", "4-7 blocks"]
+    dense_bins = ["16-23 blocks", "24-31 blocks", "32 blocks"]
+
+    def fraction(app, level, bins):
+        return sum(rows[(app, level)][label] for label in bins)
+
+    # Every histogram is a distribution.
+    for (app, level), row in rows.items():
+        total = sum(row[label] for label in sparse_bins + ["8-15 blocks"] + dense_bins)
+        assert abs(total - 1.0) < 1e-6 or total == 0.0
+
+    # Commercial workloads: wide variation (both sparse and non-sparse misses).
+    for app in ("oltp-db2", "web-apache"):
+        assert fraction(app, "L1", sparse_bins) > 0.15
+        assert fraction(app, "L1", sparse_bins) < 0.9
+
+    # Dense scientific kernels: most misses come from dense generations.
+    for app in ("ocean", "sparse"):
+        assert fraction(app, "L1", dense_bins) > 0.5
+        assert rows[(app, "L1")]["mean_density"] > 12
+
+    # OLTP's mean density is far below the dense kernels'.
+    assert rows[("oltp-db2", "L1")]["mean_density"] < rows[("sparse", "L1")]["mean_density"]

@@ -1,0 +1,46 @@
+"""Figure 7 — PHT storage sensitivity: PC+address versus PC+offset.
+
+Paper claims checked:
+
+* PC+offset reaches close to its unbounded coverage with a practical
+  16k-entry PHT;
+* PC+address, whose key space scales with the data set, captures only a small
+  fraction of its unbounded coverage at small PHT sizes; and
+* at every finite size, PC+offset's coverage is at least as high as
+  PC+address's.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import fig07_pht_storage
+
+CATEGORIES = ["OLTP", "DSS", "Web"]
+SIZES = [256, 4096, 16384, None]
+
+
+def test_fig07_pht_storage_sensitivity(benchmark, scale, num_cpus):
+    table = run_once(
+        benchmark,
+        fig07_pht_storage.run,
+        categories=CATEGORIES,
+        sizes=SIZES,
+        scale=scale,
+        num_cpus=num_cpus,
+    )
+    show(table)
+    rows = {(row["category"], row["index"], row["pht_entries"]): row["coverage"] for row in table.to_dicts()}
+
+    def coverage(category, index, size):
+        return rows[(category, index, "infinite" if size is None else str(size))]
+
+    for category in CATEGORIES:
+        unbounded_off = coverage(category, "pc+offset", None)
+        practical_off = coverage(category, "pc+offset", 16384)
+        # The practical 16k-entry PHT achieves nearly the unbounded coverage.
+        assert practical_off >= unbounded_off - 0.08
+        # PC+offset dominates PC+address at every finite size.
+        for size in (256, 4096, 16384):
+            assert coverage(category, "pc+offset", size) >= coverage(category, "pc+address", size) - 0.03
+
+    # DSS and Web: PC+address barely works even with 16k entries because its
+    # keys are spread over the (visited-once / very large) data set.
+    assert coverage("DSS", "pc+address", 16384) < 0.3

@@ -1,0 +1,48 @@
+"""Figure 8 — training structure comparison (DS / LS / AGT, unbounded PHT).
+
+Paper claims checked:
+
+* on commercial workloads, the decoupled sectored organisation (which
+  constrains cache contents) achieves clearly lower coverage than both the
+  logical sectored tag array and the AGT;
+* LS and the AGT achieve broadly similar coverage (the AGT's advantage shows
+  in PHT storage, Figure 9); and
+* on the scientific category the three organisations behave similarly.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import fig08_training
+
+CATEGORIES = ["OLTP", "Web", "Scientific"]
+
+
+def test_fig08_training_structures(benchmark, scale, num_cpus):
+    table = run_once(
+        benchmark,
+        fig08_training.run,
+        categories=CATEGORIES,
+        scale=scale,
+        num_cpus=num_cpus,
+    )
+    show(table)
+    rows = {(row["category"], row["trainer"]): row for row in table.to_dicts()}
+
+    def coverage(category, trainer):
+        return rows[(category, trainer)]["coverage"]
+
+    # Commercial workloads: DS < LS and DS < AGT.  The penalty is largest for
+    # OLTP, which interleaves the most concurrent regions (as in the paper).
+    assert coverage("OLTP", "AGT") > coverage("OLTP", "DS") + 0.04
+    for category in ("OLTP", "Web"):
+        assert coverage(category, "AGT") > coverage(category, "DS")
+        assert coverage(category, "LS") >= coverage(category, "DS") - 0.02
+        # AGT is at least comparable to LS.
+        assert coverage(category, "AGT") >= coverage(category, "LS") - 0.05
+
+    # Scientific: blocks of a sector live and die together, so all three are close.
+    scientific = [coverage("Scientific", trainer) for trainer in ("DS", "LS", "AGT")]
+    assert max(scientific) - min(scientific) < 0.3
+
+    # AGT achieves useful coverage everywhere.
+    for category in CATEGORIES:
+        assert coverage(category, "AGT") > 0.35

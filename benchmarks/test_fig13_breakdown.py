@@ -1,0 +1,52 @@
+"""Figure 13 — normalized execution time breakdown, base versus SMS.
+
+Paper claims checked:
+
+* SMS's gains come from shrinking the off-chip read stall component;
+* busy (user + system) time per unit of work is essentially unchanged;
+* the SMS bar is no taller than the base bar (relative height = speedup);
+* Qry 1's store-buffer component is not reduced by SMS.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import fig13_breakdown
+
+APPLICATIONS = ["oltp-db2", "dss-qry1", "dss-qry2", "web-apache", "ocean", "sparse"]
+
+
+def test_fig13_time_breakdown(benchmark, scale, num_cpus):
+    table = run_once(
+        benchmark,
+        fig13_breakdown.run,
+        applications=APPLICATIONS,
+        scale=scale,
+        num_cpus=num_cpus,
+    )
+    show(table)
+    rows = {(row["application"], row["system"]): row for row in table.to_dicts()}
+
+    for app in APPLICATIONS:
+        base = rows[(app, "base")]
+        sms = rows[(app, "SMS")]
+        # The base bar is normalised to 1.0 by construction.
+        assert abs(base["total"] - 1.0) < 1e-6
+        # SMS never makes the application slower.
+        assert sms["total"] <= base["total"] + 0.03
+        # The gain comes from off-chip read stalls.
+        assert sms["offchip_read"] <= base["offchip_read"] + 1e-9
+        # Busy time per unit of work is unchanged.
+        busy_base = base["user_busy"] + base["system_busy"]
+        busy_sms = sms["user_busy"] + sms["system_busy"]
+        assert abs(busy_base - busy_sms) < 0.05
+
+    # Off-chip stalls dominate the base system's stall time for the streaming
+    # kernel, and SMS removes most of them.
+    sparse_base = rows[("sparse", "base")]
+    sparse_sms = rows[("sparse", "SMS")]
+    assert sparse_base["offchip_read"] > 0.3
+    assert sparse_sms["offchip_read"] < 0.5 * sparse_base["offchip_read"]
+
+    # Qry1's store-buffer time is not reduced by SMS (it limits the speedup).
+    qry1_base = rows[("dss-qry1", "base")]
+    qry1_sms = rows[("dss-qry1", "SMS")]
+    assert qry1_sms["store_buffer"] >= qry1_base["store_buffer"] - 0.02

@@ -1,0 +1,31 @@
+"""Table 1 — system and application parameters."""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import tab01_config
+from repro.workloads.suite import APPLICATION_NAMES
+
+
+def test_tab01_system_and_applications(benchmark):
+    system, applications = run_once(benchmark, tab01_config.run)
+    show(system)
+    show(applications)
+
+    parameters = {row[0]: row[1] for row in system.rows}
+    # Paper Table 1 (left): the machine parameters we reproduce.
+    assert parameters["processors"] == 16
+    assert parameters["clock (GHz)"] == 4.0
+    assert parameters["L1 capacity (kB)"] == 64
+    assert parameters["L2 capacity (MB)"] == 8
+    assert parameters["L2 hit latency (cycles)"] == 25
+    assert parameters["memory latency (ns)"] == 60.0
+    assert parameters["coherence unit (B)"] == 64
+    assert parameters["interconnect"] == "4x4 2D torus"
+    assert parameters["hop latency (ns)"] == 25.0
+    assert parameters["peak bisection bandwidth (GB/s)"] == 128.0
+    assert parameters["SMS stream requests"] == 16
+
+    # Paper Table 1 (right): all eleven applications in four categories.
+    names = [row[0] for row in applications.rows]
+    assert names == APPLICATION_NAMES
+    categories = {row[1] for row in applications.rows}
+    assert categories == {"OLTP", "DSS", "Web", "Scientific"}

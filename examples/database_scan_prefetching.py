@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Scenario: decision-support scans and why code-based indexing matters.
+
+The paper's key insight (Section 2.2) is that indexing spatial patterns by the
+*code* (PC + spatial region offset) rather than the *data address* lets SMS
+predict accesses to data that has never been visited — which is exactly what a
+decision-support scan does: it sweeps a huge table once.
+
+This example runs the TPC-H Q1 (scan-dominated) workload under SMS with each
+of the four prediction indices and shows address-based indexing collapsing
+while PC+offset covers nearly all misses, and compares against the GHB PC/DC
+baseline.
+
+Run with::
+
+    python examples/database_scan_prefetching.py
+"""
+
+from repro.analysis.coverage import coverage_from_result
+from repro.analysis.reporting import ResultTable, format_percentage
+from repro.core import SMSConfig, SpatialMemoryStreaming
+from repro.prefetch import GHBConfig, GlobalHistoryBuffer
+from repro.simulation import SimulationConfig, SimulationEngine
+from repro.workloads import make_workload
+
+
+def simulate(trace, config, factory, name):
+    engine = SimulationEngine(config, prefetcher_factory=factory, name=name)
+    return engine.run(trace)
+
+
+def main() -> None:
+    workload = make_workload("dss-qry1", num_cpus=4, accesses_per_cpu=10_000, seed=2)
+    trace = list(workload)
+    config = SimulationConfig.small(num_cpus=workload.num_cpus)
+    print(f"workload: {workload.metadata.description}")
+    print(f"trace length: {len(trace)} accesses\n")
+
+    table = ResultTable(
+        title="TPC-H Q1 scan: L1 read-miss coverage by predictor",
+        headers=["predictor", "coverage", "overpredictions"],
+    )
+
+    for scheme in ("address", "pc+address", "pc", "pc+offset"):
+        sms_config = SMSConfig.unbounded(index_scheme=scheme)
+        result = simulate(
+            trace, config, lambda cpu, c=sms_config: SpatialMemoryStreaming(c), f"sms-{scheme}"
+        )
+        report = coverage_from_result(result, level="L1")
+        table.add_row(
+            f"SMS ({scheme})",
+            format_percentage(report.coverage),
+            format_percentage(report.overprediction_fraction),
+        )
+
+    ghb_result = simulate(
+        trace, config, lambda cpu: GlobalHistoryBuffer(GHBConfig(buffer_entries=256)), "ghb"
+    )
+    ghb_report = coverage_from_result(ghb_result, level="L2")
+    table.add_row(
+        "GHB PC/DC (off-chip)",
+        format_percentage(ghb_report.coverage),
+        format_percentage(ghb_report.overprediction_fraction),
+    )
+
+    print(table.to_text())
+    print(
+        "\nAddress-indexed predictors cannot help a scan that never revisits data;"
+        "\nPC+offset learns the per-page footprint once and applies it to every new page."
+    )
+
+
+if __name__ == "__main__":
+    main()

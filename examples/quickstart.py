@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: run Spatial Memory Streaming on a synthetic OLTP workload.
+
+Builds a TPC-C-style trace, simulates the baseline memory system and the same
+system with SMS (the paper's practical configuration), and prints miss rates,
+coverage, overpredictions, and the estimated speedup.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import SMSConfig, SpatialMemoryStreaming
+from repro.analysis.reporting import ResultTable, format_percentage
+from repro.simulation import SimulationConfig, SimulationEngine, TimingModel
+from repro.workloads import make_workload
+
+
+def main() -> None:
+    # 1. Build a workload.  Any of the eleven Table-1 applications works here;
+    #    see repro.workloads.suite.APPLICATION_NAMES for the full list.
+    workload = make_workload("oltp-db2", num_cpus=4, accesses_per_cpu=10_000, seed=1)
+    trace = list(workload)
+    print(f"workload: {workload.metadata.name} — {workload.metadata.description}")
+    print(f"trace length: {len(trace)} accesses on {workload.num_cpus} processors\n")
+
+    # 2. Simulate the baseline system (no prefetching).
+    config = SimulationConfig.small(num_cpus=workload.num_cpus)
+    baseline_engine = SimulationEngine(config, name="baseline")
+    baseline = baseline_engine.run(trace)
+    baseline.workload = workload.metadata
+
+    # 3. Simulate the same system with SMS streaming into the L1.
+    sms_engine = SimulationEngine(
+        config,
+        prefetcher_factory=lambda cpu: SpatialMemoryStreaming(SMSConfig.paper_practical()),
+        name="sms",
+    )
+    sms = sms_engine.run(trace)
+    sms.workload = workload.metadata
+
+    # 4. Report.
+    table = ResultTable(
+        title="Baseline vs SMS",
+        headers=["metric", "baseline", "sms"],
+    )
+    table.add_row("L1 read misses", baseline.l1_read_misses, sms.l1_read_misses)
+    table.add_row("off-chip read misses", baseline.offchip_read_misses, sms.offchip_read_misses)
+    table.add_row("L1 read MPKI", round(baseline.l1_read_mpki(), 2), round(sms.l1_read_mpki(), 2))
+    table.add_row(
+        "off-chip read MPKI",
+        round(baseline.offchip_read_mpki(), 2),
+        round(sms.offchip_read_mpki(), 2),
+    )
+    print(table.to_text())
+
+    print(f"\nSMS L1 coverage:        {format_percentage(sms.l1_coverage())}")
+    print(f"SMS off-chip coverage:  {format_percentage(sms.l2_coverage())}")
+    print(f"SMS overpredictions:    {format_percentage(sms.l1_overprediction_rate())} of baseline misses")
+
+    timing = TimingModel()
+    speedup = timing.speedup(baseline, sms, workload.metadata)
+    print(f"estimated speedup:      {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in editable mode on offline machines that
+lack the ``wheel`` package required by the PEP 517 editable-install path
+(``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Spatial Memory Streaming (ISCA 2006) - trace-driven reproduction",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,146 @@
+"""ASCII charts.
+
+The benchmark harness and examples run in terminals without a plotting
+backend, so the figures are rendered as simple text bar charts and line
+series.  These are deliberately minimal: enough to eyeball the shape of a
+reproduced figure next to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def _scaled_width(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0:
+        return 0
+    return max(0, min(width, int(round(width * value / maximum))))
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.2f}",
+    maximum: Optional[float] = None,
+) -> str:
+    """Render a horizontal bar chart.
+
+    ``values`` maps labels to non-negative values; bars are scaled to
+    ``maximum`` (defaults to the largest value).
+    """
+    if not values:
+        raise ValueError("bar_chart requires at least one value")
+    if any(value < 0 for value in values.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    longest_label = max(len(str(label)) for label in values)
+    scale_max = maximum if maximum is not None else max(values.values())
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        bar = "#" * _scaled_width(value, scale_max, width)
+        lines.append(
+            f"{str(label).ljust(longest_label)} | {bar.ljust(width)} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render groups of bars (e.g. one group per application, one bar per config)."""
+    if not groups:
+        raise ValueError("grouped_bar_chart requires at least one group")
+    flat_values = [value for group in groups.values() for value in group.values()]
+    if not flat_values:
+        raise ValueError("grouped_bar_chart requires at least one bar")
+    maximum = max(flat_values)
+    longest_label = max(
+        len(str(label)) for group in groups.values() for label in group
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for group_name, group in groups.items():
+        lines.append(f"{group_name}:")
+        for label, value in group.items():
+            bar = "#" * _scaled_width(value, maximum, width)
+            lines.append(
+                f"  {str(label).ljust(longest_label)} | {bar.ljust(width)} "
+                f"{value_format.format(value)}"
+            )
+    return "\n".join(lines)
+
+
+def line_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 50,
+    height: int = 12,
+) -> str:
+    """Render one or more (x, y) series as a coarse ASCII scatter/line plot.
+
+    Each series gets a distinct marker; x values are mapped to columns in
+    order of magnitude, y values to rows (0 at the bottom).
+    """
+    if not series:
+        raise ValueError("line_series requires at least one series")
+    markers = "ox+*@%&$"
+    all_points = [point for points in series.values() for point in points]
+    if not all_points:
+        raise ValueError("line_series requires at least one point")
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            column = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_min:.2f} .. {y_max:.2f}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_min:g} .. {x_max:g}")
+    legend = "  ".join(
+        f"{markers[index % len(markers)]}={name}" for index, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def stacked_bar(
+    segments: Mapping[str, float],
+    total_width: int = 60,
+    legend: bool = True,
+) -> str:
+    """Render one stacked horizontal bar whose segments sum to the bar length."""
+    if not segments:
+        raise ValueError("stacked_bar requires at least one segment")
+    total = sum(segments.values())
+    if total <= 0:
+        return "(empty)"
+    markers = "#=+-.:*%"
+    bar = ""
+    legend_parts = []
+    for index, (name, value) in enumerate(segments.items()):
+        marker = markers[index % len(markers)]
+        bar += marker * _scaled_width(value, total, total_width)
+        legend_parts.append(f"{marker}={name} ({value / total:.0%})")
+    result = "[" + bar.ljust(total_width) + "]"
+    if legend:
+        result += "\n  " + "  ".join(legend_parts)
+    return result

@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing any Python:
+
+``simulate``
+    Run one workload under a chosen prefetcher and print miss/coverage
+    statistics and the estimated speedup over the no-prefetch baseline::
+
+        python -m repro.cli simulate --workload oltp-db2 --prefetcher sms
+
+``trace``
+    Generate a synthetic workload trace and write it to a text trace file
+    (readable by :func:`repro.trace.reader.read_trace`)::
+
+        python -m repro.cli trace --workload sparse --output sparse.trace
+
+``experiment``
+    Regenerate one of the paper's figures/tables and print its rows::
+
+        python -m repro.cli experiment --figure fig11 --scale 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.coverage import coverage_from_result
+from repro.analysis.reporting import ResultTable, format_percentage
+from repro.core import SMSConfig, SpatialMemoryStreaming
+from repro.prefetch import (
+    GHBConfig,
+    GlobalHistoryBuffer,
+    NextLinePrefetcher,
+    NullPrefetcher,
+    StridePrefetcher,
+    TemporalCorrelationPrefetcher,
+)
+from repro.simulation import SimulationConfig, SimulationEngine, TimingModel
+from repro.trace.reader import write_trace
+from repro.workloads.suite import APPLICATION_NAMES, make_workload
+
+#: Prefetcher factories selectable from the command line.
+PREFETCHER_CHOICES: Dict[str, Callable[[], Callable[[int], object]]] = {
+    "none": lambda: (lambda cpu: NullPrefetcher()),
+    "sms": lambda: (lambda cpu: SpatialMemoryStreaming(SMSConfig.paper_practical())),
+    "ghb": lambda: (lambda cpu: GlobalHistoryBuffer(GHBConfig(buffer_entries=256))),
+    "ghb-16k": lambda: (lambda cpu: GlobalHistoryBuffer(GHBConfig(buffer_entries=16384))),
+    "stride": lambda: (lambda cpu: StridePrefetcher(degree=4)),
+    "next-line": lambda: (lambda cpu: NextLinePrefetcher(degree=1)),
+    "temporal": lambda: (lambda cpu: TemporalCorrelationPrefetcher()),
+}
+
+#: Experiment runners selectable from the command line.
+EXPERIMENT_CHOICES = [
+    "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "tab01",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatial Memory Streaming (ISCA 2006) reproduction tools",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="run one workload under a prefetcher")
+    simulate.add_argument("--workload", choices=APPLICATION_NAMES, required=True)
+    simulate.add_argument("--prefetcher", choices=sorted(PREFETCHER_CHOICES), default="sms")
+    simulate.add_argument("--cpus", type=int, default=4)
+    simulate.add_argument("--accesses-per-cpu", type=int, default=10_000)
+    simulate.add_argument("--seed", type=int, default=1)
+
+    trace = subparsers.add_parser("trace", help="generate a workload trace file")
+    trace.add_argument("--workload", choices=APPLICATION_NAMES, required=True)
+    trace.add_argument("--output", required=True)
+    trace.add_argument("--cpus", type=int, default=4)
+    trace.add_argument("--accesses-per-cpu", type=int, default=10_000)
+    trace.add_argument("--seed", type=int, default=1)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a paper figure/table")
+    experiment.add_argument("--figure", choices=EXPERIMENT_CHOICES, required=True)
+    experiment.add_argument("--scale", type=float, default=0.5)
+    experiment.add_argument("--cpus", type=int, default=4)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+def _command_simulate(args: argparse.Namespace) -> int:
+    workload = make_workload(
+        args.workload, num_cpus=args.cpus, accesses_per_cpu=args.accesses_per_cpu, seed=args.seed
+    )
+    trace = list(workload)
+    config = SimulationConfig.small(num_cpus=args.cpus)
+
+    baseline = SimulationEngine(config, name="baseline").run(trace)
+    baseline.workload = workload.metadata
+    engine = SimulationEngine(config, PREFETCHER_CHOICES[args.prefetcher](), name=args.prefetcher)
+    result = engine.run(trace)
+    result.workload = workload.metadata
+
+    table = ResultTable(
+        title=f"{args.workload} under {args.prefetcher} ({len(trace)} accesses, {args.cpus} CPUs)",
+        headers=["metric", "value"],
+    )
+    table.add_row("baseline L1 read misses", baseline.l1_read_misses)
+    table.add_row("L1 read misses", result.l1_read_misses)
+    table.add_row("baseline off-chip read misses", baseline.offchip_read_misses)
+    table.add_row("off-chip read misses", result.offchip_read_misses)
+    l1 = coverage_from_result(result, level="L1")
+    l2 = coverage_from_result(result, level="L2")
+    table.add_row("L1 coverage", format_percentage(l1.coverage))
+    table.add_row("off-chip coverage", format_percentage(l2.coverage))
+    table.add_row("overpredictions", format_percentage(l1.overprediction_fraction))
+    speedup = TimingModel().speedup(baseline, result, workload.metadata)
+    table.add_row("estimated speedup", f"{speedup:.2f}x")
+    print(table.to_text())
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    workload = make_workload(
+        args.workload, num_cpus=args.cpus, accesses_per_cpu=args.accesses_per_cpu, seed=args.seed
+    )
+    count = write_trace(args.output, workload)
+    print(f"wrote {count} accesses to {args.output}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig04_block_size,
+        fig05_density,
+        fig06_indexing,
+        fig07_pht_storage,
+        fig08_training,
+        fig09_training_storage,
+        fig10_region_size,
+        fig11_ghb,
+        fig12_speedup,
+        fig13_breakdown,
+        tab01_config,
+    )
+
+    runners = {
+        "fig04": lambda: fig04_block_size.run(scale=args.scale, num_cpus=args.cpus),
+        "fig05": lambda: fig05_density.run(scale=args.scale, num_cpus=args.cpus),
+        "fig06": lambda: fig06_indexing.run(scale=args.scale, num_cpus=args.cpus),
+        "fig07": lambda: fig07_pht_storage.run(scale=args.scale, num_cpus=args.cpus),
+        "fig08": lambda: fig08_training.run(scale=args.scale, num_cpus=args.cpus),
+        "fig09": lambda: fig09_training_storage.run(scale=args.scale, num_cpus=args.cpus),
+        "fig10": lambda: fig10_region_size.run(scale=args.scale, num_cpus=args.cpus),
+        "fig11": lambda: fig11_ghb.run(scale=args.scale, num_cpus=args.cpus),
+        "fig12": lambda: fig12_speedup.run(scale=args.scale, num_cpus=args.cpus),
+        "fig13": lambda: fig13_breakdown.run(scale=args.scale, num_cpus=args.cpus),
+    }
+    if args.figure == "tab01":
+        system, applications = tab01_config.run()
+        print(system.to_text())
+        print()
+        print(applications.to_text())
+        return 0
+    table = runners[args.figure]()
+    print(table.to_text())
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _command_simulate,
+    "trace": _command_trace,
+    "experiment": _command_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Coherence substrate.
+
+A functional directory-based invalidation protocol over the per-processor L1
+caches, plus the false-sharing classification used in the block-size study of
+Figure 4.  The protocol is deliberately untimed — the point of modelling
+coherence here is its *behavioural* interaction with SMS: invalidations end
+spatial region generations and can kill prefetched blocks before use, and
+larger coherence units create false sharing.
+"""
+
+from repro.coherence.protocol import CoherenceState, DirectoryEntry
+from repro.coherence.directory import Directory
+from repro.coherence.false_sharing import FalseSharingClassifier, MissClassification
+from repro.coherence.multiprocessor import AccessOutcomeRecord, MultiprocessorMemorySystem
+
+__all__ = [
+    "CoherenceState",
+    "DirectoryEntry",
+    "Directory",
+    "FalseSharingClassifier",
+    "MissClassification",
+    "AccessOutcomeRecord",
+    "MultiprocessorMemorySystem",
+]

@@ -1,0 +1,106 @@
+"""Directory controller for the MSI protocol.
+
+The directory is a purely functional model: given a read or write by a CPU it
+returns the set of coherence actions (invalidations, downgrades) that other
+CPUs' caches must perform, and updates its own sharer bookkeeping.  Applying
+those actions to the caches is the caller's responsibility (see
+:class:`repro.coherence.multiprocessor.MultiprocessorMemorySystem`), which
+keeps the directory reusable for caches of any organisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.memory.block import block_address
+from repro.coherence.protocol import CoherenceActions, CoherenceState, DirectoryEntry
+
+
+class Directory:
+    """Tracks sharers of every block at a fixed coherence granularity."""
+
+    def __init__(self, coherence_unit: int = 64) -> None:
+        if coherence_unit <= 0 or coherence_unit & (coherence_unit - 1):
+            raise ValueError(f"coherence_unit must be a power of two, got {coherence_unit}")
+        self.coherence_unit = coherence_unit
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self.read_requests = 0
+        self.write_requests = 0
+        self.invalidations_sent = 0
+        self.downgrades_sent = 0
+
+    def _entry(self, address: int) -> DirectoryEntry:
+        block = block_address(address, self.coherence_unit)
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = DirectoryEntry(block_addr=block)
+            self._entries[block] = entry
+        return entry
+
+    def lookup(self, address: int) -> Optional[DirectoryEntry]:
+        """Return the directory entry covering ``address`` (no allocation)."""
+        return self._entries.get(block_address(address, self.coherence_unit))
+
+    def sharers(self, address: int) -> Iterable[int]:
+        entry = self.lookup(address)
+        return set(entry.sharers) if entry else set()
+
+    # ------------------------------------------------------------------ #
+    def read(self, cpu: int, address: int) -> CoherenceActions:
+        """CPU ``cpu`` reads ``address``: returns required coherence actions."""
+        self.read_requests += 1
+        entry = self._entry(address)
+        actions = CoherenceActions()
+        if entry.state is CoherenceState.MODIFIED and entry.owner != cpu:
+            # Remote modified copy: force a writeback/downgrade to shared.
+            actions.downgrade_cpus.add(entry.owner)
+            actions.was_remote_modified = True
+            self.downgrades_sent += 1
+            entry.state = CoherenceState.SHARED
+            entry.owner = None
+        elif entry.state is CoherenceState.SHARED and entry.sharers - {cpu}:
+            actions.was_shared_elsewhere = True
+        entry.sharers.add(cpu)
+        if entry.state is CoherenceState.INVALID:
+            entry.state = CoherenceState.SHARED
+        if entry.state is CoherenceState.MODIFIED and entry.owner == cpu:
+            pass  # already owned; no state change
+        entry.validate()
+        return actions
+
+    def write(self, cpu: int, address: int) -> CoherenceActions:
+        """CPU ``cpu`` writes ``address``: invalidate all other copies."""
+        self.write_requests += 1
+        entry = self._entry(address)
+        actions = CoherenceActions()
+        others = entry.sharers - {cpu}
+        if others:
+            actions.invalidate_cpus = set(others)
+            actions.was_shared_elsewhere = True
+            if entry.state is CoherenceState.MODIFIED:
+                actions.was_remote_modified = True
+            self.invalidations_sent += len(others)
+        entry.sharers = {cpu}
+        entry.owner = cpu
+        entry.state = CoherenceState.MODIFIED
+        entry.validate()
+        return actions
+
+    def evict(self, cpu: int, address: int) -> None:
+        """CPU ``cpu`` dropped its copy (replacement); update sharer bookkeeping."""
+        entry = self.lookup(address)
+        if entry is None:
+            return
+        entry.sharers.discard(cpu)
+        if entry.owner == cpu:
+            entry.owner = None
+        if not entry.sharers:
+            entry.state = CoherenceState.INVALID
+            entry.owner = None
+        elif entry.state is CoherenceState.MODIFIED and entry.owner is None:
+            entry.state = CoherenceState.SHARED
+        entry.validate()
+
+    @property
+    def tracked_blocks(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,211 @@
+"""Multiprocessor memory system.
+
+Combines per-CPU private L1 caches, a shared L2, a directory, and the
+false-sharing classifier into a single functional model with one entry point,
+:meth:`MultiprocessorMemorySystem.access`.  The prefetcher-aware simulation
+engine (:mod:`repro.simulation.engine`) drives this model and layers SMS /
+GHB / oracle prefetching on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.coherence.directory import Directory
+from repro.coherence.false_sharing import FalseSharingClassifier, MissClassification
+from repro.memory.block import block_address
+from repro.memory.cache import AccessOutcome, AccessResult, SetAssociativeCache
+from repro.memory.hierarchy import MemoryLevel
+from repro.trace.record import MemoryAccess
+
+
+@dataclass
+class AccessOutcomeRecord:
+    """Everything the engine and timing model need to know about one access."""
+
+    record: MemoryAccess
+    level: MemoryLevel
+    l1_result: AccessResult
+    l2_result: Optional[AccessResult] = None
+    miss_classification: Optional[MissClassification] = None
+    invalidations_sent: int = 0
+
+    @property
+    def l1_miss(self) -> bool:
+        return self.l1_result.is_miss
+
+    @property
+    def l2_miss(self) -> bool:
+        return self.l2_result is not None and self.l2_result.is_miss
+
+    @property
+    def off_chip(self) -> bool:
+        return self.level is MemoryLevel.MEMORY
+
+    @property
+    def l1_covered_by_prefetch(self) -> bool:
+        return self.l1_result.is_prefetch_hit
+
+    @property
+    def l2_covered_by_prefetch(self) -> bool:
+        return self.l2_result is not None and self.l2_result.is_prefetch_hit
+
+    @property
+    def false_sharing(self) -> bool:
+        return self.miss_classification is MissClassification.FALSE_SHARING
+
+
+class MultiprocessorMemorySystem:
+    """N private L1s + shared L2 + directory MSI coherence."""
+
+    def __init__(
+        self,
+        num_cpus: int = 16,
+        block_size: int = 64,
+        l1_capacity: int = 64 * 1024,
+        l1_associativity: int = 2,
+        l2_capacity: int = 8 * 1024 * 1024,
+        l2_associativity: int = 8,
+        replacement: str = "lru",
+        classify_false_sharing: bool = True,
+        seed: Optional[int] = None,
+    ) -> None:
+        if num_cpus <= 0:
+            raise ValueError(f"num_cpus must be positive, got {num_cpus}")
+        self.num_cpus = num_cpus
+        self.block_size = block_size
+        self._l1s: List[SetAssociativeCache] = [
+            SetAssociativeCache(
+                capacity_bytes=l1_capacity,
+                block_size=block_size,
+                associativity=l1_associativity,
+                replacement=replacement,
+                name=f"L1[{cpu}]",
+                seed=None if seed is None else seed + cpu,
+            )
+            for cpu in range(num_cpus)
+        ]
+        self.l2 = SetAssociativeCache(
+            capacity_bytes=l2_capacity,
+            block_size=block_size,
+            associativity=l2_associativity,
+            replacement=replacement,
+            name="L2",
+            seed=seed,
+        )
+        self.directory = Directory(coherence_unit=block_size)
+        self.classifier = (
+            FalseSharingClassifier(block_size=block_size, sharing_granularity=min(64, block_size))
+            if classify_false_sharing
+            else None
+        )
+        # Keep the directory's sharer lists consistent with L1 replacements.
+        for cpu, l1 in enumerate(self._l1s):
+            l1.add_eviction_listener(self._make_directory_evict_listener(cpu))
+        self.total_accesses = 0
+        self.total_instructions = 0
+
+    # ------------------------------------------------------------------ #
+    def _make_directory_evict_listener(self, cpu: int):
+        def _listener(evicted) -> None:
+            self.directory.evict(cpu, evicted.block_addr)
+
+        return _listener
+
+    def l1(self, cpu: int) -> SetAssociativeCache:
+        """Return the private L1 of processor ``cpu``."""
+        return self._l1s[cpu]
+
+    @property
+    def l1_caches(self) -> List[SetAssociativeCache]:
+        return list(self._l1s)
+
+    # ------------------------------------------------------------------ #
+    def access(self, record: MemoryAccess) -> AccessOutcomeRecord:
+        """Process one demand access, including all coherence side effects."""
+        cpu = record.cpu
+        if not 0 <= cpu < self.num_cpus:
+            raise ValueError(f"record.cpu={cpu} out of range for {self.num_cpus} CPUs")
+        self.total_accesses += 1
+        if record.instruction_count > self.total_instructions:
+            self.total_instructions = record.instruction_count
+
+        address = record.address
+        block = block_address(address, self.block_size)
+        l1 = self._l1s[cpu]
+
+        # --- Coherence actions happen before the local lookup. -------------
+        invalidations_sent = 0
+        if record.is_write:
+            actions = self.directory.write(cpu, block)
+            for other in actions.invalidate_cpus:
+                evicted = self._l1s[other].invalidate(block)
+                if evicted is not None and self.classifier is not None:
+                    self.classifier.record_invalidation(other, block, address)
+                elif self.classifier is not None:
+                    # The remote CPU had no L1 copy but had previously lost
+                    # one; keep accumulating the chunks written remotely.
+                    self.classifier.record_remote_write(other, block, address)
+                invalidations_sent += 1
+        else:
+            actions = self.directory.read(cpu, block)
+            # Downgrades are writebacks in a real system; functionally the
+            # remote copy stays resident (now shared), so no cache change.
+
+        # --- L1 lookup. -----------------------------------------------------
+        l1_result = l1.access(address, is_write=record.is_write)
+        if not l1_result.is_miss:
+            return AccessOutcomeRecord(
+                record=record,
+                level=MemoryLevel.L1,
+                l1_result=l1_result,
+                invalidations_sent=invalidations_sent,
+            )
+
+        classification = None
+        if self.classifier is not None:
+            classification = self.classifier.classify_miss(cpu, block)
+
+        # --- Shared L2 lookup. -----------------------------------------------
+        l2_result = self.l2.access(address, is_write=record.is_write)
+        level = MemoryLevel.L2 if not l2_result.is_miss else MemoryLevel.MEMORY
+        return AccessOutcomeRecord(
+            record=record,
+            level=level,
+            l1_result=l1_result,
+            l2_result=l2_result,
+            miss_classification=classification,
+            invalidations_sent=invalidations_sent,
+        )
+
+    # ------------------------------------------------------------------ #
+    def prefetch_fill(self, cpu: int, address: int, into_l1: bool = True, into_l2: bool = True) -> None:
+        """Install a prefetched block on behalf of ``cpu``.
+
+        SMS stream requests behave like reads in the coherence protocol
+        (Section 3.2), so the directory registers the CPU as a sharer.
+        """
+        block = block_address(address, self.block_size)
+        self.directory.read(cpu, block)
+        if into_l2:
+            self.l2.fill(block, prefetched=True)
+        if into_l1:
+            self._l1s[cpu].fill(block, prefetched=True)
+
+    def l1_contains(self, cpu: int, address: int) -> bool:
+        return self._l1s[cpu].contains(address)
+
+    # ------------------------------------------------------------------ #
+    def aggregate_l1_stats(self):
+        """Return the sum of all per-CPU L1 statistics."""
+        total = self._l1s[0].stats
+        for l1 in self._l1s[1:]:
+            total = total.merge(l1.stats)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiprocessorMemorySystem(cpus={self.num_cpus}, block={self.block_size}, "
+            f"l1={self._l1s[0].capacity_bytes}B, l2={self.l2.capacity_bytes}B)"
+        )

@@ -1,0 +1,227 @@
+"""Active Generation Table.
+
+The AGT (Section 3.1) records which blocks are accessed over the course of a
+spatial region generation.  It is logically one table but implemented as two
+content-addressable memories:
+
+* the **filter table** holds regions that have seen only their trigger access
+  (a significant minority of generations never see a second block, and
+  predicting them is pointless); and
+* the **accumulation table** holds regions with two or more accessed blocks
+  and accumulates their spatial pattern bit vector.
+
+A generation ends when any block of the region is evicted or invalidated from
+the primary cache, or when the entry is displaced from a full table; ended
+accumulation-table generations are handed to the Pattern History Table.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.indexing import TriggerInfo
+from repro.core.pattern import SpatialPattern
+from repro.core.region import RegionGeometry
+
+
+@dataclass
+class GenerationRecord:
+    """An in-flight (or just-completed) spatial region generation."""
+
+    region: int
+    trigger_pc: int
+    trigger_offset: int
+    trigger_address: int
+    pattern_bits: int = 0
+
+    def record_offset(self, offset: int) -> None:
+        self.pattern_bits |= 1 << offset
+
+    def pattern(self, num_blocks: int) -> SpatialPattern:
+        return SpatialPattern(num_blocks=num_blocks, bits=self.pattern_bits)
+
+    def trigger_info(self) -> TriggerInfo:
+        return TriggerInfo(
+            pc=self.trigger_pc,
+            address=self.trigger_address,
+            region=self.region,
+            offset=self.trigger_offset,
+        )
+
+
+@dataclass
+class AGTEvent:
+    """Outcome of one AGT operation.
+
+    ``is_trigger`` marks the access as the first access of a new generation
+    (the moment SMS consults the PHT).  ``completed`` lists generations that
+    ended as a side effect (victims displaced from a full accumulation table,
+    or the generation ended by the eviction that was observed).
+    """
+
+    is_trigger: bool = False
+    trigger: Optional[TriggerInfo] = None
+    completed: List[GenerationRecord] = field(default_factory=list)
+
+
+@dataclass
+class _FilterEntry:
+    region: int
+    trigger_pc: int
+    trigger_offset: int
+    trigger_address: int
+
+
+class ActiveGenerationTable:
+    """Filter table + accumulation table, as in Figure 2 of the paper."""
+
+    def __init__(
+        self,
+        geometry: RegionGeometry,
+        filter_entries: Optional[int] = 32,
+        accumulation_entries: Optional[int] = 64,
+    ) -> None:
+        if filter_entries is not None and filter_entries <= 0:
+            raise ValueError(f"filter_entries must be positive or None, got {filter_entries}")
+        if accumulation_entries is not None and accumulation_entries <= 0:
+            raise ValueError(
+                f"accumulation_entries must be positive or None, got {accumulation_entries}"
+            )
+        self.geometry = geometry
+        self.filter_entries = filter_entries
+        self.accumulation_entries = accumulation_entries
+        # Both tables are CAMs searched by region tag; OrderedDict gives LRU order.
+        self._filter: "OrderedDict[int, _FilterEntry]" = OrderedDict()
+        self._accumulation: "OrderedDict[int, GenerationRecord]" = OrderedDict()
+        # Statistics
+        self.trigger_accesses = 0
+        self.generations_started = 0
+        self.generations_completed = 0
+        self.filter_only_generations = 0
+        self.filter_victims = 0
+        self.accumulation_victims = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def filter_occupancy(self) -> int:
+        return len(self._filter)
+
+    @property
+    def accumulation_occupancy(self) -> int:
+        return len(self._accumulation)
+
+    def active_regions(self) -> List[int]:
+        """Regions with an in-flight generation in either table."""
+        return list(self._filter.keys()) + list(self._accumulation.keys())
+
+    def has_active_generation(self, address: int) -> bool:
+        region = self.geometry.region_base(address)
+        return region in self._filter or region in self._accumulation
+
+    # ------------------------------------------------------------------ #
+    # Operation
+    # ------------------------------------------------------------------ #
+    def observe_access(self, pc: int, address: int) -> AGTEvent:
+        """Process one L1 data access (Figure 2, steps 1-3)."""
+        region, offset = self.geometry.split(address)
+        event = AGTEvent()
+
+        # Step 3: accesses to an already-accumulating generation set pattern bits.
+        record = self._accumulation.get(region)
+        if record is not None:
+            record.record_offset(offset)
+            self._accumulation.move_to_end(region)
+            return event
+
+        entry = self._filter.get(region)
+        if entry is None:
+            # Step 1: trigger access for a new generation; allocate in the filter.
+            self.trigger_accesses += 1
+            self.generations_started += 1
+            event.is_trigger = True
+            event.trigger = TriggerInfo(pc=pc, address=address, region=region, offset=offset)
+            self._allocate_filter(region, pc, offset, address)
+            return event
+
+        if entry.trigger_offset == offset:
+            # Repeat access to the trigger block: still a single-block generation.
+            self._filter.move_to_end(region)
+            return event
+
+        # Step 2: second distinct block; transfer the generation to the
+        # accumulation table and set both the trigger and the new bit.
+        del self._filter[region]
+        record = GenerationRecord(
+            region=region,
+            trigger_pc=entry.trigger_pc,
+            trigger_offset=entry.trigger_offset,
+            trigger_address=entry.trigger_address,
+        )
+        record.record_offset(entry.trigger_offset)
+        record.record_offset(offset)
+        victim = self._allocate_accumulation(region, record)
+        if victim is not None:
+            event.completed.append(victim)
+        return event
+
+    def observe_removal(self, block_address: int) -> AGTEvent:
+        """Process the eviction or invalidation of a block (Figure 2, step 4)."""
+        region = self.geometry.region_base(block_address)
+        event = AGTEvent()
+        if region in self._filter:
+            # Generation with only its trigger access: discard, nothing to learn.
+            del self._filter[region]
+            self.filter_only_generations += 1
+            return event
+        record = self._accumulation.pop(region, None)
+        if record is not None:
+            self.generations_completed += 1
+            event.completed.append(record)
+        return event
+
+    def drain(self) -> List[GenerationRecord]:
+        """End every in-flight accumulating generation (used at end of trace)."""
+        drained = list(self._accumulation.values())
+        self.generations_completed += len(drained)
+        self.filter_only_generations += len(self._filter)
+        self._accumulation.clear()
+        self._filter.clear()
+        return drained
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _allocate_filter(self, region: int, pc: int, offset: int, address: int) -> None:
+        if self.filter_entries is not None and len(self._filter) >= self.filter_entries:
+            # Victim generations in the filter table are simply dropped: they
+            # contain only a trigger access.
+            self._filter.popitem(last=False)
+            self.filter_victims += 1
+            self.filter_only_generations += 1
+        self._filter[region] = _FilterEntry(
+            region=region, trigger_pc=pc, trigger_offset=offset, trigger_address=address
+        )
+
+    def _allocate_accumulation(
+        self, region: int, record: GenerationRecord
+    ) -> Optional[GenerationRecord]:
+        victim: Optional[GenerationRecord] = None
+        if (
+            self.accumulation_entries is not None
+            and len(self._accumulation) >= self.accumulation_entries
+        ):
+            _, victim = self._accumulation.popitem(last=False)
+            self.accumulation_victims += 1
+            self.generations_completed += 1
+        self._accumulation[region] = record
+        return victim
+
+    def __repr__(self) -> str:
+        return (
+            f"ActiveGenerationTable(filter={self.filter_entries}, "
+            f"accumulation={self.accumulation_entries}, geometry={self.geometry.describe()})"
+        )

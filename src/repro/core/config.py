@@ -1,0 +1,107 @@
+"""SMS configuration.
+
+Default values follow the practical configuration evaluated in the paper
+(Figure 11): 2 kB spatial regions over 64 B blocks, PC+offset indexing, AGT
+training with a 32-entry filter table and 64-entry accumulation table, and a
+16k-entry 16-way set-associative PHT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.region import RegionGeometry
+
+
+@dataclass
+class SMSConfig:
+    """Configuration for :class:`repro.core.sms.SpatialMemoryStreaming`.
+
+    Attributes
+    ----------
+    region_size, block_size:
+        Spatial region geometry in bytes.
+    index_scheme:
+        Prediction index: ``"address"``, ``"pc"``, ``"pc+address"`` or
+        ``"pc+offset"``.
+    trainer:
+        Training structure: ``"agt"`` (the paper's design), ``"logical-sectored"``
+        or ``"decoupled-sectored"`` (the prior designs of Figure 8).
+    filter_entries, accumulation_entries:
+        AGT sizing; ``None`` means unbounded (used by opportunity studies).
+    pht_entries, pht_associativity:
+        Pattern History Table sizing; ``pht_entries=None`` means unbounded.
+    prediction_registers:
+        Number of simultaneously-active streamed regions.
+    stream_into_l1:
+        SMS streams predicted blocks into the primary cache; set False to
+        restrict streaming to the L2 (used in ablations).
+    max_requests_per_access:
+        Cap on stream requests drained per demand access (``None`` = drain
+        everything immediately; the functional default).
+    trained_cache_capacity, trained_cache_associativity:
+        Geometry the sectored training structures mirror (the L1 by default).
+    """
+
+    region_size: int = 2048
+    block_size: int = 64
+    index_scheme: str = "pc+offset"
+    trainer: str = "agt"
+    filter_entries: Optional[int] = 32
+    accumulation_entries: Optional[int] = 64
+    pht_entries: Optional[int] = 16384
+    pht_associativity: int = 16
+    prediction_registers: int = 16
+    stream_into_l1: bool = True
+    max_requests_per_access: Optional[int] = None
+    trained_cache_capacity: int = 64 * 1024
+    trained_cache_associativity: int = 2
+
+    def __post_init__(self) -> None:
+        if self.pht_entries is not None and self.pht_entries <= 0:
+            raise ValueError(f"pht_entries must be positive or None, got {self.pht_entries}")
+        if self.pht_associativity <= 0:
+            raise ValueError(f"pht_associativity must be positive, got {self.pht_associativity}")
+        if self.prediction_registers <= 0:
+            raise ValueError(
+                f"prediction_registers must be positive, got {self.prediction_registers}"
+            )
+
+    @property
+    def geometry(self) -> RegionGeometry:
+        return RegionGeometry(region_size=self.region_size, block_size=self.block_size)
+
+    @property
+    def unbounded_pht(self) -> bool:
+        return self.pht_entries is None
+
+    @classmethod
+    def paper_practical(cls) -> "SMSConfig":
+        """The practical configuration of Figure 11 (also the class defaults)."""
+        return cls()
+
+    @classmethod
+    def unbounded(cls, index_scheme: str = "pc+offset", region_size: int = 2048) -> "SMSConfig":
+        """Unbounded PHT/AGT configuration used by the opportunity studies."""
+        return cls(
+            region_size=region_size,
+            index_scheme=index_scheme,
+            filter_entries=None,
+            accumulation_entries=None,
+            pht_entries=None,
+        )
+
+    def replace(self, **overrides) -> "SMSConfig":
+        """Return a copy of this configuration with ``overrides`` applied."""
+        values = dict(vars(self))
+        values.update(overrides)
+        return SMSConfig(**values)
+
+    def storage_bits(self) -> int:
+        """Rough predictor storage estimate in bits (PHT tag+pattern entries)."""
+        if self.pht_entries is None:
+            raise ValueError("cannot estimate storage for an unbounded PHT")
+        pattern_bits = self.geometry.blocks_per_region
+        tag_bits = 32  # PC (or address) fragment + offset
+        return self.pht_entries * (pattern_bits + tag_bits)

@@ -1,0 +1,142 @@
+"""Pattern History Table.
+
+The PHT (Section 3.2) is the long-term store of spatial patterns.  It is
+organised as a set-associative structure similar to a cache: the prediction
+index (derived from the trigger access) selects a set, the remaining index
+bits form the tag, and each entry holds the spatial pattern accumulated by
+the AGT.  An unbounded (dictionary-backed) variant supports the paper's
+"infinite PHT" opportunity studies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.pattern import SpatialPattern
+
+
+def stable_hash(key: Hashable) -> int:
+    """Deterministic (process-independent) hash for PHT keys.
+
+    Python's built-in ``hash`` is randomised for strings across processes;
+    PHT set selection must be reproducible, so we use an FNV-1a style mix
+    over a canonical encoding of the key.
+    """
+    def _mix(value: int, data: bytes) -> int:
+        for byte in data:
+            value ^= byte
+            value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return value
+
+    state = 0xCBF29CE484222325
+    if isinstance(key, tuple):
+        for element in key:
+            state = _mix(state, repr(element).encode("utf-8"))
+    else:
+        state = _mix(state, repr(key).encode("utf-8"))
+    return state
+
+
+class PatternHistoryTable:
+    """Set-associative (or unbounded) storage of spatial patterns."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        num_entries: Optional[int] = 16384,
+        associativity: int = 16,
+        merge: str = "replace",
+    ) -> None:
+        if num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+        if num_entries is not None:
+            if num_entries <= 0:
+                raise ValueError(f"num_entries must be positive or None, got {num_entries}")
+            if associativity <= 0 or num_entries % associativity != 0:
+                raise ValueError(
+                    f"num_entries ({num_entries}) must be a positive multiple of "
+                    f"associativity ({associativity})"
+                )
+        if merge not in ("replace", "union"):
+            raise ValueError(f"merge must be 'replace' or 'union', got {merge!r}")
+        self.num_blocks = num_blocks
+        self.num_entries = num_entries
+        self.associativity = associativity
+        self.merge = merge
+        self.num_sets = 1 if num_entries is None else num_entries // associativity
+        # Each set is an OrderedDict key -> pattern, LRU order (oldest first).
+        self._sets: List["OrderedDict[Hashable, SpatialPattern]"] = [
+            OrderedDict() for _ in range(self.num_sets if num_entries is not None else 1)
+        ]
+        self._unbounded: "OrderedDict[Hashable, SpatialPattern]" = OrderedDict()
+        self.lookups = 0
+        self.hits = 0
+        self.stores = 0
+        self.replacements = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_unbounded(self) -> bool:
+        return self.num_entries is None
+
+    @property
+    def occupancy(self) -> int:
+        if self.is_unbounded:
+            return len(self._unbounded)
+        return sum(len(s) for s in self._sets)
+
+    def _set_for(self, key: Hashable) -> "OrderedDict[Hashable, SpatialPattern]":
+        if self.is_unbounded:
+            return self._unbounded
+        return self._sets[stable_hash(key) % self.num_sets]
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: Hashable) -> Optional[SpatialPattern]:
+        """Return the stored pattern for ``key`` (updating recency), or None."""
+        self.lookups += 1
+        table = self._set_for(key)
+        pattern = table.get(key)
+        if pattern is None:
+            return None
+        table.move_to_end(key)
+        self.hits += 1
+        return pattern
+
+    def probe(self, key: Hashable) -> Optional[SpatialPattern]:
+        """Return the stored pattern without updating recency or statistics."""
+        return self._set_for(key).get(key)
+
+    def store(self, key: Hashable, pattern: SpatialPattern) -> None:
+        """Record the pattern observed at the end of a generation."""
+        if pattern.num_blocks != self.num_blocks:
+            raise ValueError(
+                f"pattern width {pattern.num_blocks} does not match PHT width {self.num_blocks}"
+            )
+        self.stores += 1
+        table = self._set_for(key)
+        existing = table.get(key)
+        if existing is not None and self.merge == "union":
+            pattern = existing.union(pattern)
+        if existing is None and not self.is_unbounded and len(table) >= self.associativity:
+            table.popitem(last=False)
+            self.replacements += 1
+        table[key] = pattern
+        table.move_to_end(key)
+
+    def invalidate(self, key: Hashable) -> Optional[SpatialPattern]:
+        """Remove ``key`` from the table, returning its pattern if present."""
+        return self._set_for(key).pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def distinct_keys(self) -> int:
+        """Number of distinct keys currently stored (storage-footprint metric)."""
+        return self.occupancy
+
+    def __repr__(self) -> str:
+        size = "unbounded" if self.is_unbounded else f"{self.num_entries}x{self.associativity}-way"
+        return f"PatternHistoryTable({size}, {self.num_blocks}-block patterns)"

@@ -1,0 +1,132 @@
+"""Prediction registers and stream request generation.
+
+When a trigger access hits in the PHT, the region base address and predicted
+pattern are copied into one of several *prediction registers* (Section 3.2).
+SMS then streams the predicted blocks into the primary cache, clearing each
+bit as its block is requested and freeing the register once the pattern is
+exhausted.  When several registers are active, requests are drawn from them
+in round-robin order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.pattern import SpatialPattern
+from repro.core.region import RegionGeometry
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """One block SMS wants to stream into the cache."""
+
+    address: int
+    region: int
+    offset: int
+
+
+class PredictionRegister:
+    """A single active streaming region: base address + remaining pattern bits."""
+
+    def __init__(self, geometry: RegionGeometry, region: int, pattern: SpatialPattern) -> None:
+        if pattern.num_blocks != geometry.blocks_per_region:
+            raise ValueError(
+                f"pattern width {pattern.num_blocks} does not match region geometry "
+                f"({geometry.blocks_per_region} blocks)"
+            )
+        self.geometry = geometry
+        self.region = geometry.region_base(region)
+        self._remaining = pattern.bits
+
+    @property
+    def exhausted(self) -> bool:
+        return self._remaining == 0
+
+    @property
+    def remaining_count(self) -> int:
+        return bin(self._remaining).count("1")
+
+    def next_request(self) -> Optional[StreamRequest]:
+        """Pop the lowest remaining offset and return its stream request."""
+        if self._remaining == 0:
+            return None
+        offset = (self._remaining & -self._remaining).bit_length() - 1
+        self._remaining &= self._remaining - 1
+        return StreamRequest(
+            address=self.geometry.block_at_offset(self.region, offset),
+            region=self.region,
+            offset=offset,
+        )
+
+
+class PredictionRegisterFile:
+    """A bounded pool of prediction registers drained round-robin."""
+
+    def __init__(self, geometry: RegionGeometry, num_registers: int = 16) -> None:
+        if num_registers <= 0:
+            raise ValueError(f"num_registers must be positive, got {num_registers}")
+        self.geometry = geometry
+        self.num_registers = num_registers
+        self._registers: List[PredictionRegister] = []
+        self._next_index = 0
+        self.allocations = 0
+        self.rejections = 0
+        self.requests_issued = 0
+
+    @property
+    def active_registers(self) -> int:
+        return len(self._registers)
+
+    @property
+    def has_capacity(self) -> bool:
+        return len(self._registers) < self.num_registers
+
+    def allocate(self, region: int, pattern: SpatialPattern, exclude_offset: Optional[int] = None) -> bool:
+        """Start streaming ``pattern`` for the region based at ``region``.
+
+        ``exclude_offset`` removes the trigger block from the stream (it is
+        being fetched by the demand miss itself).  Returns False and drops
+        the prediction if no register is free.
+        """
+        if exclude_offset is not None and 0 <= exclude_offset < pattern.num_blocks:
+            pattern = pattern.without_offset(exclude_offset)
+        if pattern.is_empty:
+            return True
+        if not self.has_capacity:
+            self.rejections += 1
+            return False
+        self._registers.append(PredictionRegister(self.geometry, region, pattern))
+        self.allocations += 1
+        return True
+
+    def drain(self, max_requests: Optional[int] = None) -> List[StreamRequest]:
+        """Issue up to ``max_requests`` stream requests, round-robin across registers."""
+        requests: List[StreamRequest] = []
+        while self._registers:
+            if max_requests is not None and len(requests) >= max_requests:
+                break
+            if self._next_index >= len(self._registers):
+                self._next_index = 0
+            register = self._registers[self._next_index]
+            request = register.next_request()
+            if request is not None:
+                requests.append(request)
+                self.requests_issued += 1
+            if register.exhausted:
+                self._registers.pop(self._next_index)
+            else:
+                self._next_index += 1
+        return requests
+
+    def cancel_region(self, region: int) -> int:
+        """Drop any active register for ``region`` (e.g. on invalidation); return count."""
+        base = self.geometry.region_base(region)
+        before = len(self._registers)
+        self._registers = [r for r in self._registers if r.region != base]
+        self._next_index = 0
+        return before - len(self._registers)
+
+    def clear(self) -> None:
+        self._registers.clear()
+        self._next_index = 0

@@ -1,0 +1,134 @@
+"""Spatial Memory Streaming predictor.
+
+Ties together a training structure (AGT by default), an index scheme
+(PC+offset by default), the Pattern History Table, and the prediction
+register file into a single per-processor prefetcher implementing the
+:class:`repro.prefetch.base.Prefetcher` interface.
+
+Operation per the paper (Sections 3.1-3.2):
+
+1. Every L1 data access trains the AGT.  Generations completed as a side
+   effect (table victims) immediately train the PHT.
+2. If the access is a *trigger* (the first access of a new spatial region
+   generation), the PHT is consulted with the prediction index derived from
+   the trigger's PC and spatial region offset.  On a hit, the region base and
+   predicted pattern are copied to a prediction register and SMS begins
+   streaming the predicted blocks into the primary cache.
+3. Every L1 eviction or invalidation is forwarded to the AGT; an ended
+   generation's accumulated pattern trains the PHT.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.coherence.multiprocessor import AccessOutcomeRecord
+from repro.core.config import SMSConfig
+from repro.core.indexing import IndexScheme, make_index_scheme
+from repro.core.pht import PatternHistoryTable
+from repro.core.prediction import PredictionRegisterFile
+from repro.core.training import CompletedGeneration, SpatialTrainer, make_trainer
+from repro.prefetch.base import Prefetcher, PrefetcherResponse, PrefetchRequest
+from repro.trace.record import MemoryAccess
+
+
+class SpatialMemoryStreaming(Prefetcher):
+    """The SMS predictor for one processor."""
+
+    name = "sms"
+
+    def __init__(self, config: Optional[SMSConfig] = None) -> None:
+        super().__init__()
+        self.config = config or SMSConfig()
+        self.geometry = self.config.geometry
+        self.streams_into_l1 = self.config.stream_into_l1
+        self.index_scheme: IndexScheme = make_index_scheme(
+            self.config.index_scheme, self.geometry
+        )
+        self.trainer: SpatialTrainer = make_trainer(
+            self.config.trainer,
+            self.geometry,
+            filter_entries=self.config.filter_entries,
+            accumulation_entries=self.config.accumulation_entries,
+            cache_capacity=self.config.trained_cache_capacity,
+            cache_associativity=self.config.trained_cache_associativity,
+        )
+        self.pht = PatternHistoryTable(
+            num_blocks=self.geometry.blocks_per_region,
+            num_entries=self.config.pht_entries,
+            associativity=self.config.pht_associativity,
+        )
+        self.registers = PredictionRegisterFile(
+            geometry=self.geometry,
+            num_registers=self.config.prediction_registers,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _train(self, completed: List[CompletedGeneration]) -> None:
+        for generation in completed:
+            key = self.index_scheme.key(generation.trigger_info())
+            self.pht.store(key, generation.pattern)
+            self.stats.trained_patterns += 1
+
+    def _drain_streams(self) -> List[PrefetchRequest]:
+        requests = self.registers.drain(max_requests=self.config.max_requests_per_access)
+        prefetches = []
+        for request in requests:
+            prefetches.append(
+                PrefetchRequest(address=request.address, target_l1=self.config.stream_into_l1)
+            )
+        self.stats.issued += len(prefetches)
+        return prefetches
+
+    # ------------------------------------------------------------------ #
+    def on_access(self, record: MemoryAccess, outcome: AccessOutcomeRecord) -> PrefetcherResponse:
+        response = PrefetcherResponse()
+        trainer_response = self.trainer.observe_access(record.pc, record.address)
+        self._train(trainer_response.completed)
+        response.forced_evictions.extend(trainer_response.forced_evictions)
+
+        if trainer_response.trigger is not None:
+            trigger = trainer_response.trigger
+            key = self.index_scheme.key(trigger)
+            self.stats.pht_lookups += 1
+            pattern = self.pht.lookup(key)
+            if pattern is not None and not pattern.is_empty:
+                self.stats.pht_hits += 1
+                self.stats.predictions += pattern.population
+                self.registers.allocate(
+                    region=trigger.region,
+                    pattern=pattern,
+                    exclude_offset=trigger.offset,
+                )
+
+        response.prefetches.extend(self._drain_streams())
+        return response
+
+    def on_eviction(self, block_address: int, invalidated: bool = False) -> PrefetcherResponse:
+        response = PrefetcherResponse()
+        trainer_response = self.trainer.observe_removal(block_address, invalidated=invalidated)
+        self._train(trainer_response.completed)
+        response.forced_evictions.extend(trainer_response.forced_evictions)
+        if invalidated:
+            # An invalidated region's remaining streamed blocks would arrive
+            # stale; stop streaming it.
+            self.registers.cancel_region(block_address)
+        return response
+
+    def finalize(self) -> PrefetcherResponse:
+        self._train(self.trainer.drain())
+        self.registers.clear()
+        return PrefetcherResponse()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def coverage_potential(self) -> float:
+        """PHT hit rate over trigger accesses (a quick training-health metric)."""
+        return self.stats.pht_hit_rate
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialMemoryStreaming(index={self.index_scheme.name}, "
+            f"trainer={self.trainer.name}, regions={self.geometry.describe()}, "
+            f"pht={'unbounded' if self.pht.is_unbounded else self.pht.num_entries})"
+        )

@@ -1,0 +1,158 @@
+"""Markdown report generation.
+
+Turns experiment tables into a Markdown report comparing the paper's reported
+values with the values measured by this reproduction.  ``EXPERIMENTS.md`` at
+the repository root is maintained with these helpers; the CLI and the
+benchmark harness can also emit ad-hoc reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.reporting import ResultTable
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def table_to_markdown(table: ResultTable, caption: str = "") -> str:
+    """Render a :class:`ResultTable` as a GitHub-flavoured Markdown table."""
+    lines: List[str] = []
+    if caption:
+        lines.append(f"**{caption}**")
+        lines.append("")
+    lines.append("| " + " | ".join(table.headers) + " |")
+    lines.append("|" + "|".join([" --- "] * len(table.headers)) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(_format_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+@dataclass
+class ClaimComparison:
+    """One paper claim compared against the reproduction's measurement."""
+
+    claim: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+    note: str = ""
+
+    def as_row(self) -> List[str]:
+        status = "reproduced" if self.holds else "deviates"
+        return [self.claim, self.paper_value, self.measured_value, status, self.note]
+
+
+@dataclass
+class ExperimentSection:
+    """One figure/table's section of the report."""
+
+    identifier: str
+    title: str
+    summary: str = ""
+    claims: List[ClaimComparison] = field(default_factory=list)
+    tables: List[ResultTable] = field(default_factory=list)
+
+    def add_claim(
+        self,
+        claim: str,
+        paper_value: str,
+        measured_value: str,
+        holds: bool,
+        note: str = "",
+    ) -> None:
+        self.claims.append(
+            ClaimComparison(
+                claim=claim,
+                paper_value=paper_value,
+                measured_value=measured_value,
+                holds=holds,
+                note=note,
+            )
+        )
+
+    def add_table(self, table: ResultTable) -> None:
+        self.tables.append(table)
+
+    @property
+    def reproduced_count(self) -> int:
+        return sum(1 for claim in self.claims if claim.holds)
+
+    def to_markdown(self) -> str:
+        lines = [f"## {self.identifier}: {self.title}", ""]
+        if self.summary:
+            lines.extend([self.summary, ""])
+        if self.claims:
+            claims_table = ResultTable(
+                title="",
+                headers=["claim", "paper", "measured", "status", "note"],
+            )
+            for claim in self.claims:
+                claims_table.add_row(*claim.as_row())
+            lines.append(table_to_markdown(claims_table))
+            lines.append("")
+        for table in self.tables:
+            lines.append(table_to_markdown(table, caption=table.title))
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+@dataclass
+class ExperimentReport:
+    """A full paper-versus-measured report."""
+
+    title: str
+    preamble: str = ""
+    sections: List[ExperimentSection] = field(default_factory=list)
+
+    def add_section(self, section: ExperimentSection) -> None:
+        self.sections.append(section)
+
+    def section(self, identifier: str) -> Optional[ExperimentSection]:
+        for section in self.sections:
+            if section.identifier == identifier:
+                return section
+        return None
+
+    @property
+    def total_claims(self) -> int:
+        return sum(len(section.claims) for section in self.sections)
+
+    @property
+    def reproduced_claims(self) -> int:
+        return sum(section.reproduced_count for section in self.sections)
+
+    def summary_table(self) -> ResultTable:
+        table = ResultTable(
+            title="Summary",
+            headers=["experiment", "title", "claims checked", "claims reproduced"],
+        )
+        for section in self.sections:
+            table.add_row(
+                section.identifier, section.title, len(section.claims), section.reproduced_count
+            )
+        return table
+
+    def to_markdown(self) -> str:
+        lines = [f"# {self.title}", ""]
+        if self.preamble:
+            lines.extend([self.preamble, ""])
+        if self.sections:
+            lines.append(table_to_markdown(self.summary_table(), caption="Summary"))
+            lines.append("")
+        for section in self.sections:
+            lines.append(section.to_markdown())
+        return "\n".join(lines).rstrip() + "\n"
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_markdown(), encoding="utf-8")
+        return path

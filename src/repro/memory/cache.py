@@ -1,0 +1,321 @@
+"""Set-associative cache model.
+
+The cache is a functional (untimed) model: it tracks which blocks are
+resident, applies a replacement policy, and reports hits, misses, evictions
+and invalidations.  Timing is layered on separately by
+:mod:`repro.simulation.timing`.
+
+Prefetch bookkeeping
+--------------------
+Every line remembers whether it was *filled by a prefetch* and whether it has
+been *demand-referenced* since the fill.  This is what allows coverage and
+overprediction to be measured exactly as the paper defines them: a demand hit
+on a prefetched, not-yet-used line is a covered miss; a prefetched line that
+leaves the cache unused is an overprediction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.memory.block import block_address, is_power_of_two
+from repro.memory.replacement import ReplacementPolicy, make_policy
+from repro.memory.stats import CacheStatistics
+
+
+class AccessOutcome(enum.Enum):
+    """Result of a demand access."""
+
+    HIT = "hit"
+    MISS = "miss"
+    PREFETCH_HIT = "prefetch_hit"
+
+    @property
+    def is_miss(self) -> bool:
+        return self is AccessOutcome.MISS
+
+    @property
+    def is_hit(self) -> bool:
+        return not self.is_miss
+
+
+@dataclass
+class CacheLine:
+    """State of one resident cache block."""
+
+    block_addr: int
+    dirty: bool = False
+    prefetched: bool = False
+    used: bool = True
+
+    def mark_demand_use(self, is_write: bool) -> None:
+        self.used = True
+        if is_write:
+            self.dirty = True
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """Information about a block leaving the cache."""
+
+    block_addr: int
+    dirty: bool
+    prefetched: bool
+    used: bool
+    invalidated: bool = False
+
+    @property
+    def was_unused_prefetch(self) -> bool:
+        return self.prefetched and not self.used
+
+
+@dataclass
+class AccessResult:
+    """Outcome of :meth:`SetAssociativeCache.access`."""
+
+    outcome: AccessOutcome
+    block_addr: int
+    evicted: Optional[EvictedLine] = None
+
+    @property
+    def is_miss(self) -> bool:
+        return self.outcome.is_miss
+
+    @property
+    def is_prefetch_hit(self) -> bool:
+        return self.outcome is AccessOutcome.PREFETCH_HIT
+
+
+# Callback signature: called with the EvictedLine each time a line leaves the
+# cache (replacement or invalidation).  Used by SMS to terminate generations.
+EvictionListener = Callable[[EvictedLine], None]
+
+
+class SetAssociativeCache:
+    """A classic set-associative, write-back, allocate-on-miss cache."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_size: int = 64,
+        associativity: int = 2,
+        replacement: str = "lru",
+        name: str = "cache",
+        seed: Optional[int] = None,
+    ) -> None:
+        if not is_power_of_two(block_size):
+            raise ValueError(f"block_size must be a power of two, got {block_size}")
+        if capacity_bytes <= 0 or capacity_bytes % (block_size * associativity) != 0:
+            raise ValueError(
+                "capacity_bytes must be a positive multiple of block_size * associativity "
+                f"(got capacity={capacity_bytes}, block={block_size}, assoc={associativity})"
+            )
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.block_size = block_size
+        self.associativity = associativity
+        self.num_sets = capacity_bytes // (block_size * associativity)
+        if not is_power_of_two(self.num_sets):
+            raise ValueError(
+                f"number of sets must be a power of two, got {self.num_sets} "
+                f"(capacity={capacity_bytes}, block={block_size}, assoc={associativity})"
+            )
+        self._replacement_name = replacement
+        self._seed = seed
+        # Each set is a dict way -> CacheLine plus a replacement policy.
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(replacement, seed=None if seed is None else seed + i)
+            for i in range(self.num_sets)
+        ]
+        self.stats = CacheStatistics()
+        self._eviction_listeners: List[EvictionListener] = []
+
+    # ------------------------------------------------------------------ #
+    # Address mapping
+    # ------------------------------------------------------------------ #
+    def set_index(self, address: int) -> int:
+        """Return the set index for ``address``."""
+        return (address // self.block_size) % self.num_sets
+
+    def _find_way(self, set_index: int, block_addr: int) -> Optional[int]:
+        for way, line in self._sets[set_index].items():
+            if line.block_addr == block_addr:
+                return way
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Listeners
+    # ------------------------------------------------------------------ #
+    def add_eviction_listener(self, listener: EvictionListener) -> None:
+        """Register a callback invoked whenever a line leaves the cache."""
+        self._eviction_listeners.append(listener)
+
+    def _notify_eviction(self, evicted: EvictedLine) -> None:
+        for listener in self._eviction_listeners:
+            listener(evicted)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def contains(self, address: int) -> bool:
+        """Return True if the block containing ``address`` is resident."""
+        block = block_address(address, self.block_size)
+        return self._find_way(self.set_index(address), block) is not None
+
+    def probe(self, address: int) -> Optional[CacheLine]:
+        """Return the resident line for ``address`` without updating any state."""
+        block = block_address(address, self.block_size)
+        way = self._find_way(self.set_index(address), block)
+        if way is None:
+            return None
+        return self._sets[self.set_index(address)][way]
+
+    def resident_blocks(self) -> List[int]:
+        """Return a list of all resident block addresses (for tests)."""
+        blocks = []
+        for cache_set in self._sets:
+            blocks.extend(line.block_addr for line in cache_set.values())
+        return blocks
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    # ------------------------------------------------------------------ #
+    # Mutations
+    # ------------------------------------------------------------------ #
+    def access(self, address: int, is_write: bool = False, allocate: bool = True) -> AccessResult:
+        """Perform a demand access; allocate on miss if ``allocate`` is True."""
+        block = block_address(address, self.block_size)
+        set_index = self.set_index(address)
+        self.stats.accesses += 1
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        way = self._find_way(set_index, block)
+        if way is not None:
+            line = self._sets[set_index][way]
+            self._policies[set_index].on_access(way)
+            if line.prefetched and not line.used:
+                outcome = AccessOutcome.PREFETCH_HIT
+                self.stats.prefetch_hits += 1
+                self.stats.prefetched_used += 1
+            else:
+                outcome = AccessOutcome.HIT
+            self.stats.hits += 1
+            line.mark_demand_use(is_write)
+            return AccessResult(outcome=outcome, block_addr=block)
+
+        self.stats.misses += 1
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        evicted = None
+        if allocate:
+            evicted = self._install(set_index, block, prefetched=False, dirty=is_write)
+        return AccessResult(outcome=AccessOutcome.MISS, block_addr=block, evicted=evicted)
+
+    def fill(self, address: int, prefetched: bool = False, dirty: bool = False) -> Optional[EvictedLine]:
+        """Install the block containing ``address`` (e.g. a prefetch fill).
+
+        Returns the line evicted to make room, if any.  Filling a block that
+        is already resident is a no-op (the existing line keeps its state).
+        """
+        block = block_address(address, self.block_size)
+        set_index = self.set_index(address)
+        if self._find_way(set_index, block) is not None:
+            return None
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return self._install(set_index, block, prefetched=prefetched, dirty=dirty)
+
+    def invalidate(self, address: int) -> Optional[EvictedLine]:
+        """Remove the block containing ``address`` (coherence invalidation)."""
+        block = block_address(address, self.block_size)
+        set_index = self.set_index(address)
+        way = self._find_way(set_index, block)
+        if way is None:
+            return None
+        line = self._sets[set_index].pop(way)
+        self._policies[set_index].on_invalidate(way)
+        self.stats.invalidations += 1
+        if line.prefetched and not line.used:
+            self.stats.prefetched_evicted_unused += 1
+        evicted = EvictedLine(
+            block_addr=line.block_addr,
+            dirty=line.dirty,
+            prefetched=line.prefetched,
+            used=line.used,
+            invalidated=True,
+        )
+        self._notify_eviction(evicted)
+        return evicted
+
+    def flush(self) -> List[EvictedLine]:
+        """Remove every resident line, notifying listeners for each."""
+        flushed = []
+        for set_index, cache_set in enumerate(self._sets):
+            for way in list(cache_set):
+                line = cache_set.pop(way)
+                self._policies[set_index].on_invalidate(way)
+                evicted = EvictedLine(
+                    block_addr=line.block_addr,
+                    dirty=line.dirty,
+                    prefetched=line.prefetched,
+                    used=line.used,
+                    invalidated=True,
+                )
+                self._notify_eviction(evicted)
+                flushed.append(evicted)
+        return flushed
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _install(self, set_index: int, block: int, prefetched: bool, dirty: bool) -> Optional[EvictedLine]:
+        cache_set = self._sets[set_index]
+        policy = self._policies[set_index]
+        evicted_line: Optional[EvictedLine] = None
+        if len(cache_set) >= self.associativity:
+            valid_ways = list(cache_set.keys())
+            victim_way = policy.victim(valid_ways, [])
+            victim = cache_set.pop(victim_way)
+            policy.on_invalidate(victim_way)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+            if victim.prefetched and not victim.used:
+                self.stats.prefetched_evicted_unused += 1
+            evicted_line = EvictedLine(
+                block_addr=victim.block_addr,
+                dirty=victim.dirty,
+                prefetched=victim.prefetched,
+                used=victim.used,
+                invalidated=False,
+            )
+            self._notify_eviction(evicted_line)
+            way = victim_way
+        else:
+            used_ways = set(cache_set.keys())
+            way = next(w for w in range(self.associativity) if w not in used_ways)
+        cache_set[way] = CacheLine(
+            block_addr=block,
+            dirty=dirty,
+            prefetched=prefetched,
+            used=not prefetched,
+        )
+        policy.on_fill(way)
+        return evicted_line
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache(name={self.name!r}, capacity={self.capacity_bytes}, "
+            f"block={self.block_size}, assoc={self.associativity}, sets={self.num_sets})"
+        )

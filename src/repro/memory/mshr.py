@@ -1,0 +1,94 @@
+"""Miss Status Holding Registers.
+
+MSHRs bound the number of outstanding misses a cache can sustain.  In this
+functional model they are used for two things:
+
+* the simulation engine consults them to decide whether a stream request can
+  be issued (Table 1: the L1 has 32 MSHRs plus 16 dedicated SMS stream
+  request slots);
+* the timing model uses the observed outstanding-miss occupancy to estimate
+  memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss."""
+
+    block_addr: int
+    is_prefetch: bool = False
+    merged_requests: int = 0
+
+
+class MSHRFile:
+    """A finite pool of MSHR entries keyed by block address."""
+
+    def __init__(self, num_entries: int, name: str = "mshr") -> None:
+        if num_entries <= 0:
+            raise ValueError(f"num_entries must be positive, got {num_entries}")
+        self.name = name
+        self.num_entries = num_entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.rejections = 0
+        self.peak_occupancy = 0
+        self._occupancy_samples: List[int] = []
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.num_entries
+
+    def outstanding(self, block_addr: int) -> bool:
+        """Return True if a miss to ``block_addr`` is already in flight."""
+        return block_addr in self._entries
+
+    def allocate(self, block_addr: int, is_prefetch: bool = False) -> Optional[MSHREntry]:
+        """Allocate (or merge into) an entry for ``block_addr``.
+
+        Returns the entry, or ``None`` when the file is full and the block is
+        not already outstanding (the request must be rejected or stalled).
+        """
+        existing = self._entries.get(block_addr)
+        if existing is not None:
+            existing.merged_requests += 1
+            self.merges += 1
+            return existing
+        if self.is_full:
+            self.rejections += 1
+            return None
+        entry = MSHREntry(block_addr=block_addr, is_prefetch=is_prefetch)
+        self._entries[block_addr] = entry
+        self.allocations += 1
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+        return entry
+
+    def release(self, block_addr: int) -> Optional[MSHREntry]:
+        """Complete the miss to ``block_addr`` and free its entry."""
+        return self._entries.pop(block_addr, None)
+
+    def sample_occupancy(self) -> None:
+        """Record the current occupancy (used to estimate MLP)."""
+        self._occupancy_samples.append(len(self._entries))
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self._occupancy_samples:
+            return 0.0
+        return sum(self._occupancy_samples) / len(self._occupancy_samples)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return f"MSHRFile(name={self.name!r}, entries={self.num_entries}, occupancy={self.occupancy})"

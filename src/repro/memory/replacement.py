@@ -1,0 +1,102 @@
+"""Replacement policies for set-associative structures.
+
+A policy instance manages a single cache set (or any small fully-associative
+pool of ways).  Policies are also reused by the Pattern History Table and the
+Active Generation Table, which are organised like caches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+
+class ReplacementPolicy:
+    """Interface for per-set replacement state."""
+
+    def on_fill(self, way: int) -> None:
+        """Record that ``way`` was filled with a new line."""
+        raise NotImplementedError
+
+    def on_access(self, way: int) -> None:
+        """Record a hit on ``way``."""
+        raise NotImplementedError
+
+    def on_invalidate(self, way: int) -> None:
+        """Record that ``way`` was invalidated."""
+        raise NotImplementedError
+
+    def victim(self, valid_ways: List[int], invalid_ways: List[int]) -> int:
+        """Choose a way to evict.
+
+        ``invalid_ways`` lists ways currently holding no line; these are
+        always preferred.  ``valid_ways`` lists occupied ways.
+        """
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement, tracked with a logical timestamp."""
+
+    def __init__(self) -> None:
+        self._clock = 0
+        self._last_use: Dict[int, int] = {}
+
+    def _touch(self, way: int) -> None:
+        self._clock += 1
+        self._last_use[way] = self._clock
+
+    def on_fill(self, way: int) -> None:
+        self._touch(way)
+
+    def on_access(self, way: int) -> None:
+        self._touch(way)
+
+    def on_invalidate(self, way: int) -> None:
+        self._last_use.pop(way, None)
+
+    def victim(self, valid_ways: List[int], invalid_ways: List[int]) -> int:
+        if invalid_ways:
+            return invalid_ways[0]
+        if not valid_ways:
+            raise ValueError("victim() called with no ways")
+        return min(valid_ways, key=lambda way: self._last_use.get(way, -1))
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random replacement with a per-policy deterministic RNG."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+
+    def on_fill(self, way: int) -> None:
+        pass
+
+    def on_access(self, way: int) -> None:
+        pass
+
+    def on_invalidate(self, way: int) -> None:
+        pass
+
+    def victim(self, valid_ways: List[int], invalid_ways: List[int]) -> int:
+        if invalid_ways:
+            return invalid_ways[0]
+        if not valid_ways:
+            raise ValueError("victim() called with no ways")
+        return self._rng.choice(valid_ways)
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, seed: Optional[int] = None) -> ReplacementPolicy:
+    """Construct a replacement policy by name (``"lru"`` or ``"random"``)."""
+    key = name.lower()
+    if key not in _POLICIES:
+        raise ValueError(f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}")
+    if key == "random":
+        return RandomPolicy(seed=seed)
+    return _POLICIES[key]()

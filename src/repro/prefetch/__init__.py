@@ -1,0 +1,38 @@
+"""Prefetchers.
+
+This package defines the prefetcher interface shared by SMS and every
+baseline, plus the baselines themselves:
+
+* :class:`~repro.prefetch.ghb.GlobalHistoryBuffer` — the GHB PC/DC prefetcher
+  the paper compares against (Figure 11);
+* :class:`~repro.prefetch.stride.StridePrefetcher` — a classic per-PC stride
+  prefetcher (reference point / extension ablation);
+* :class:`~repro.prefetch.oracle.OracleSpatialPredictor` — the "opportunity"
+  oracle of Figure 4 that incurs exactly one miss per spatial region
+  generation;
+* :class:`~repro.prefetch.nextline.NextLinePrefetcher` — trivial sequential
+  prefetcher used as a sanity baseline;
+* :class:`~repro.prefetch.temporal.TemporalCorrelationPrefetcher` — a
+  Markov-style miss-pair correlation predictor representing the temporal
+  correlation approaches of the related-work section.
+"""
+
+from repro.prefetch.base import NullPrefetcher, Prefetcher, PrefetcherResponse, PrefetchRequest
+from repro.prefetch.ghb import GHBConfig, GlobalHistoryBuffer
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.oracle import OracleSpatialPredictor
+from repro.prefetch.temporal import TemporalCorrelationPrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "PrefetcherResponse",
+    "PrefetchRequest",
+    "NullPrefetcher",
+    "GlobalHistoryBuffer",
+    "GHBConfig",
+    "StridePrefetcher",
+    "NextLinePrefetcher",
+    "OracleSpatialPredictor",
+    "TemporalCorrelationPrefetcher",
+]

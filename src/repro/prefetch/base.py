@@ -1,0 +1,88 @@
+"""Prefetcher interface.
+
+Every predictor (SMS, GHB, stride, oracle) is driven the same way by the
+simulation engine: it observes each demand access together with its cache
+outcome, observes evictions/invalidations from the cache it streams into, and
+returns the prefetch requests (and, for the decoupled-sectored training
+model, forced evictions) the engine should apply.
+
+The engine instantiates one prefetcher per processor, mirroring the paper's
+per-core hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.coherence.multiprocessor import AccessOutcomeRecord
+from repro.memory.stats import PrefetcherStatistics
+from repro.trace.record import MemoryAccess
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """A request to bring one block into the cache hierarchy ahead of demand."""
+
+    address: int
+    target_l1: bool = True
+
+    @property
+    def target_l2_only(self) -> bool:
+        return not self.target_l1
+
+
+@dataclass
+class PrefetcherResponse:
+    """What a prefetcher wants the engine to do after one event."""
+
+    prefetches: List[PrefetchRequest] = field(default_factory=list)
+    forced_evictions: List[int] = field(default_factory=list)
+
+    def merge(self, other: "PrefetcherResponse") -> "PrefetcherResponse":
+        return PrefetcherResponse(
+            prefetches=self.prefetches + other.prefetches,
+            forced_evictions=self.forced_evictions + other.forced_evictions,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.prefetches and not self.forced_evictions
+
+
+class Prefetcher:
+    """Base class for all predictors."""
+
+    name = "base"
+    #: Whether this prefetcher's fills target the L1 (True) or only the L2.
+    streams_into_l1 = True
+
+    def __init__(self) -> None:
+        self.stats = PrefetcherStatistics()
+
+    def on_access(self, record: MemoryAccess, outcome: AccessOutcomeRecord) -> PrefetcherResponse:
+        """Observe a demand access (with its memory-system outcome)."""
+        raise NotImplementedError
+
+    def on_eviction(self, block_address: int, invalidated: bool) -> PrefetcherResponse:
+        """Observe a block leaving the cache level this prefetcher trains on."""
+        return PrefetcherResponse()
+
+    def finalize(self) -> PrefetcherResponse:
+        """Called once at end of trace; flush any internal training state."""
+        return PrefetcherResponse()
+
+    def reset_stats(self) -> None:
+        self.stats = PrefetcherStatistics()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NullPrefetcher(Prefetcher):
+    """A prefetcher that never prefetches (the baseline system)."""
+
+    name = "none"
+
+    def on_access(self, record: MemoryAccess, outcome: AccessOutcomeRecord) -> PrefetcherResponse:
+        return PrefetcherResponse()

@@ -1,0 +1,139 @@
+"""Oracle spatial predictor ("opportunity").
+
+Figure 4's *opportunity* bars come from an oracle predictor that incurs only
+one miss per spatial region generation: at the trigger access it magically
+fetches exactly the blocks that will be accessed during the generation, no
+more and no fewer.
+
+Two forms are provided:
+
+* :func:`precompute_generation_footprints` performs the offline pass that
+  discovers, for every generation in a trace, which blocks it will touch
+  (this is also what :mod:`repro.analysis.opportunity` uses to count oracle
+  misses); and
+* :class:`OracleSpatialPredictor`, a :class:`~repro.prefetch.base.Prefetcher`
+  that replays those footprints at run time so the oracle can be driven
+  through the same simulation engine as SMS and GHB.
+
+The footprints are keyed by the per-CPU access ordinal of the trigger access,
+so the runtime replay does not depend on the (prefetch-perturbed) cache state.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.coherence.multiprocessor import AccessOutcomeRecord
+from repro.core.agt import ActiveGenerationTable
+from repro.core.pattern import SpatialPattern
+from repro.core.region import RegionGeometry
+from repro.memory.cache import SetAssociativeCache
+from repro.prefetch.base import Prefetcher, PrefetcherResponse, PrefetchRequest
+from repro.trace.record import MemoryAccess
+
+# (cpu, per-cpu ordinal of the trigger access) -> (region base, footprint)
+FootprintMap = Dict[Tuple[int, int], Tuple[int, SpatialPattern]]
+
+
+def precompute_generation_footprints(
+    trace: Iterable[MemoryAccess],
+    geometry: Optional[RegionGeometry] = None,
+    num_cpus: int = 16,
+    l1_capacity: int = 64 * 1024,
+    l1_associativity: int = 2,
+) -> FootprintMap:
+    """Offline pass discovering every generation's footprint in ``trace``.
+
+    The pass simulates each CPU's private L1 (without any prefetching) and an
+    unbounded AGT; when a generation ends, its accumulated pattern is stored
+    under the per-CPU ordinal of its trigger access.
+    """
+    geometry = geometry or RegionGeometry()
+    caches = [
+        SetAssociativeCache(
+            capacity_bytes=l1_capacity,
+            block_size=geometry.block_size,
+            associativity=l1_associativity,
+            name=f"oracle-l1[{cpu}]",
+        )
+        for cpu in range(num_cpus)
+    ]
+    agts = [
+        ActiveGenerationTable(geometry, filter_entries=None, accumulation_entries=None)
+        for _ in range(num_cpus)
+    ]
+    ordinals = [0] * num_cpus
+    # (cpu, region) -> ordinal of the active generation's trigger access
+    active_triggers: Dict[Tuple[int, int], int] = {}
+    footprints: FootprintMap = {}
+
+    def _complete(cpu: int, record) -> None:
+        trigger_ordinal = active_triggers.pop((cpu, record.region), None)
+        if trigger_ordinal is None:
+            return
+        footprints[(cpu, trigger_ordinal)] = (
+            record.region,
+            record.pattern(geometry.blocks_per_region),
+        )
+
+    for access in trace:
+        cpu = access.cpu
+        if cpu >= num_cpus:
+            raise ValueError(f"trace contains cpu {cpu} but only {num_cpus} CPUs were configured")
+        ordinal = ordinals[cpu]
+        result = caches[cpu].access(access.address, is_write=access.is_write)
+        if result.evicted is not None:
+            event = agts[cpu].observe_removal(result.evicted.block_addr)
+            for completed in event.completed:
+                _complete(cpu, completed)
+        event = agts[cpu].observe_access(access.pc, access.address)
+        for completed in event.completed:
+            _complete(cpu, completed)
+        if event.is_trigger:
+            active_triggers[(cpu, event.trigger.region)] = ordinal
+        ordinals[cpu] = ordinal + 1
+
+    for cpu, agt in enumerate(agts):
+        for record in agt.drain():
+            _complete(cpu, record)
+    return footprints
+
+
+class OracleSpatialPredictor(Prefetcher):
+    """Replays precomputed generation footprints as perfect predictions."""
+
+    name = "oracle"
+    streams_into_l1 = True
+
+    def __init__(
+        self,
+        footprints: FootprintMap,
+        cpu: int,
+        geometry: Optional[RegionGeometry] = None,
+    ) -> None:
+        super().__init__()
+        self.geometry = geometry or RegionGeometry()
+        self.cpu = cpu
+        self._footprints = footprints
+        self._ordinal = 0
+
+    def on_access(self, record: MemoryAccess, outcome: AccessOutcomeRecord) -> PrefetcherResponse:
+        response = PrefetcherResponse()
+        key = (self.cpu, self._ordinal)
+        self._ordinal += 1
+        entry = self._footprints.get(key)
+        if entry is None:
+            return response
+        region, pattern = entry
+        trigger_offset = self.geometry.offset(record.address)
+        self.stats.pht_lookups += 1
+        self.stats.pht_hits += 1
+        for offset in pattern.offsets():
+            if offset == trigger_offset and self.geometry.region_base(record.address) == region:
+                continue
+            address = self.geometry.block_at_offset(region, offset)
+            response.prefetches.append(PrefetchRequest(address=address, target_l1=True))
+            self.stats.predictions += 1
+            self.stats.issued += 1
+        return response

@@ -1,0 +1,31 @@
+"""Trace-driven simulation engine and timing model.
+
+:class:`~repro.simulation.engine.SimulationEngine` drives a multiprocessor
+memory system (:mod:`repro.coherence`) and a per-CPU prefetcher through a
+trace, producing a :class:`~repro.simulation.engine.SimulationResult` with
+the miss, coverage, and overprediction counters every figure of the paper is
+built from.  :mod:`repro.simulation.timing` converts those counters into the
+execution-time breakdowns and speedups of Figures 12-13 using the Table-1
+machine parameters, and :mod:`repro.simulation.sampling` supplies the
+SMARTS-style paired-measurement confidence intervals.
+"""
+
+from repro.simulation.config import MachineConfig, SimulationConfig
+from repro.simulation.engine import SimulationEngine, SimulationResult
+from repro.simulation.timing import TimingModel, TimingResult
+from repro.simulation.breakdown import BreakdownCategory, ExecutionBreakdown
+from repro.simulation.sampling import ConfidenceInterval, SampledMeasurement, paired_speedup
+
+__all__ = [
+    "MachineConfig",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "TimingModel",
+    "TimingResult",
+    "BreakdownCategory",
+    "ExecutionBreakdown",
+    "ConfidenceInterval",
+    "SampledMeasurement",
+    "paired_speedup",
+]

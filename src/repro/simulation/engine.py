@@ -1,0 +1,347 @@
+"""Trace-driven simulation engine.
+
+The engine drives one :class:`~repro.coherence.multiprocessor.MultiprocessorMemorySystem`
+and one prefetcher instance per processor through a multiprocessor trace.  It
+is a functional (untimed) simulation in the spirit of the paper's trace-based
+methodology (Section 4): the outputs are miss, coverage, and overprediction
+counts; timing is layered on top by :mod:`repro.simulation.timing`.
+
+Per access the engine:
+
+1. performs the demand access (coherence actions + L1 + shared L2);
+2. forwards the access and its outcome to the issuing CPU's prefetcher;
+3. applies any forced evictions the prefetcher's training structure requires
+   (decoupled-sectored training); and
+4. applies the prefetcher's stream requests as fills into the L1 and/or L2.
+
+Evictions and invalidations from each CPU's L1 are forwarded to that CPU's
+prefetcher as they happen (this is how spatial region generations end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.coherence.multiprocessor import AccessOutcomeRecord, MultiprocessorMemorySystem
+from repro.interconnect.traffic import BandwidthAccountant, TrafficClass
+from repro.memory.hierarchy import MemoryLevel
+from repro.prefetch.base import NullPrefetcher, Prefetcher
+from repro.simulation.config import SimulationConfig
+from repro.trace.record import ExecutionMode, MemoryAccess
+from repro.trace.stream import TraceStream
+from repro.workloads.base import WorkloadMetadata
+
+#: A factory building the prefetcher for one CPU.
+PrefetcherFactory = Callable[[int], Prefetcher]
+
+
+@dataclass
+class SimulationResult:
+    """Counters produced by one simulation run (measurement phase only)."""
+
+    name: str = ""
+    num_cpus: int = 1
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    system_accesses: int = 0
+    instructions: int = 0
+
+    # L1 behaviour (summed over all private L1s).
+    l1_read_misses: int = 0
+    l1_write_misses: int = 0
+    l1_read_covered: int = 0
+    l1_write_covered: int = 0
+    l1_overpredictions: int = 0
+
+    # L2 / off-chip behaviour.
+    l2_demand_reads: int = 0
+    l2_read_hits: int = 0
+    offchip_read_misses: int = 0
+    offchip_write_misses: int = 0
+    l2_read_covered: int = 0
+    l2_overpredictions: int = 0
+
+    # Sharing behaviour.
+    false_sharing_misses: int = 0
+    invalidations: int = 0
+
+    # Prefetch activity.
+    prefetches_issued: int = 0
+    prefetch_fills_l1: int = 0
+    prefetch_fills_l2: int = 0
+
+    # Bandwidth accounting.
+    traffic: Optional[BandwidthAccountant] = None
+    workload: Optional[WorkloadMetadata] = None
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def l1_read_references(self) -> int:
+        return self.reads
+
+    @property
+    def baseline_l1_read_misses(self) -> int:
+        """Read misses the system would (approximately) incur without prefetching."""
+        return self.l1_read_misses + self.l1_read_covered
+
+    @property
+    def baseline_offchip_read_misses(self) -> int:
+        return self.offchip_read_misses + self.l2_read_covered
+
+    def l1_coverage(self) -> float:
+        """Fraction of L1 read misses eliminated by the prefetcher."""
+        baseline = self.baseline_l1_read_misses
+        return self.l1_read_covered / baseline if baseline else 0.0
+
+    def l2_coverage(self) -> float:
+        """Fraction of off-chip read misses eliminated by the prefetcher."""
+        baseline = self.baseline_offchip_read_misses
+        return self.l2_read_covered / baseline if baseline else 0.0
+
+    def l1_overprediction_rate(self) -> float:
+        baseline = self.baseline_l1_read_misses
+        return self.l1_overpredictions / baseline if baseline else 0.0
+
+    def l2_overprediction_rate(self) -> float:
+        baseline = self.baseline_offchip_read_misses
+        return self.l2_overpredictions / baseline if baseline else 0.0
+
+    def l1_read_mpki(self) -> float:
+        return 1000.0 * self.l1_read_misses / self.instructions if self.instructions else 0.0
+
+    def offchip_read_mpki(self) -> float:
+        return 1000.0 * self.offchip_read_misses / self.instructions if self.instructions else 0.0
+
+    def false_sharing_fraction(self) -> float:
+        total = self.l1_read_misses + self.l1_write_misses
+        return self.false_sharing_misses / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "accesses": self.accesses,
+            "instructions": self.instructions,
+            "l1_read_misses": self.l1_read_misses,
+            "l1_coverage": self.l1_coverage(),
+            "l1_overprediction_rate": self.l1_overprediction_rate(),
+            "offchip_read_misses": self.offchip_read_misses,
+            "l2_coverage": self.l2_coverage(),
+            "l2_overprediction_rate": self.l2_overprediction_rate(),
+            "l1_read_mpki": self.l1_read_mpki(),
+            "offchip_read_mpki": self.offchip_read_mpki(),
+            "false_sharing_misses": self.false_sharing_misses,
+        }
+
+
+class SimulationEngine:
+    """Couples the memory system with one prefetcher per processor."""
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        prefetcher_factory: Optional[PrefetcherFactory] = None,
+        name: str = "",
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.prefetcher_factory = prefetcher_factory or (lambda cpu: NullPrefetcher())
+        self.name = name
+        self.memory = MultiprocessorMemorySystem(
+            num_cpus=self.config.num_cpus,
+            block_size=self.config.block_size,
+            l1_capacity=self.config.l1_capacity,
+            l1_associativity=self.config.l1_associativity,
+            l2_capacity=self.config.l2_capacity,
+            l2_associativity=self.config.l2_associativity,
+            replacement=self.config.replacement,
+            classify_false_sharing=self.config.classify_false_sharing,
+            seed=self.config.seed,
+        )
+        self.prefetchers: List[Prefetcher] = [
+            self.prefetcher_factory(cpu) for cpu in range(self.config.num_cpus)
+        ]
+        # Forward L1 evictions/invalidations to the owning CPU's prefetcher.
+        for cpu in range(self.config.num_cpus):
+            self.memory.l1(cpu).add_eviction_listener(self._make_eviction_listener(cpu))
+        self._measuring = True
+        self.result = SimulationResult(name=name, num_cpus=self.config.num_cpus)
+        self.result.traffic = BandwidthAccountant(block_size=self.config.block_size)
+        self._instruction_baseline: Dict[int, int] = {}
+        self._instruction_latest: Dict[int, int] = {}
+        self._offchip_prefetched: Dict[int, bool] = {}
+        self._l1_overprediction_baseline = 0
+
+    # ------------------------------------------------------------------ #
+    def _make_eviction_listener(self, cpu: int):
+        def _listener(evicted) -> None:
+            prefetcher = self.prefetchers[cpu]
+            response = prefetcher.on_eviction(evicted.block_addr, invalidated=evicted.invalidated)
+            if response.forced_evictions:
+                self._apply_forced_evictions(cpu, response.forced_evictions)
+            if response.prefetches:
+                self._apply_prefetches(cpu, response.prefetches)
+
+        return _listener
+
+    def _apply_forced_evictions(self, cpu: int, blocks: Iterable[int]) -> None:
+        l1 = self.memory.l1(cpu)
+        for block in blocks:
+            l1.invalidate(block)
+
+    def _apply_prefetches(self, cpu: int, prefetches) -> None:
+        for request in prefetches:
+            block = request.address & ~(self.config.block_size - 1)
+            was_offchip = not self.memory.l2.contains(block)
+            self.memory.prefetch_fill(
+                cpu,
+                request.address,
+                into_l1=request.target_l1,
+                into_l2=True,
+            )
+            if was_offchip and self._offchip_prefetched.get(block) is not False:
+                # Track blocks the prefetcher brought on-chip; the first demand
+                # access to one of them is an off-chip miss that was covered.
+                self._offchip_prefetched[block] = False
+            if self._measuring:
+                self.result.prefetches_issued += 1
+                if request.target_l1:
+                    self.result.prefetch_fills_l1 += 1
+                self.result.prefetch_fills_l2 += 1
+                self.result.traffic.record_block_transfer(TrafficClass.PREFETCH)
+
+    # ------------------------------------------------------------------ #
+    def _record_outcome(self, record: MemoryAccess, outcome: AccessOutcomeRecord) -> None:
+        result = self.result
+        result.accesses += 1
+        if record.is_read:
+            result.reads += 1
+        else:
+            result.writes += 1
+        if record.mode is ExecutionMode.SYSTEM:
+            result.system_accesses += 1
+        result.invalidations += outcome.invalidations_sent
+
+        if outcome.l1_covered_by_prefetch:
+            if record.is_read:
+                result.l1_read_covered += 1
+            else:
+                result.l1_write_covered += 1
+
+        # Off-chip coverage: the first demand use of a block the prefetcher
+        # brought on-chip (and that has not been evicted everywhere since) is
+        # an off-chip miss that the prefetcher eliminated.
+        block = record.address & ~(self.config.block_size - 1)
+        if self._offchip_prefetched.get(block) is False and not outcome.off_chip:
+            self._offchip_prefetched[block] = True
+            if record.is_read:
+                result.l2_read_covered += 1
+
+        if outcome.l1_miss:
+            if record.is_read:
+                result.l1_read_misses += 1
+            else:
+                result.l1_write_misses += 1
+            result.traffic.record_block_transfer(TrafficClass.DEMAND_FETCH)
+            result.traffic.record_useful_bytes(64)
+            if outcome.false_sharing:
+                result.false_sharing_misses += 1
+            if record.is_read:
+                result.l2_demand_reads += 1
+                if outcome.level is MemoryLevel.L2:
+                    result.l2_read_hits += 1
+                else:
+                    result.offchip_read_misses += 1
+            else:
+                if outcome.off_chip:
+                    result.offchip_write_misses += 1
+
+    def _snapshot_overpredictions(self) -> None:
+        """Copy prefetched-but-unused counters from the caches into the result."""
+        l1_total = sum(l1.stats.prefetched_evicted_unused for l1 in self.memory.l1_caches)
+        self.result.l1_overpredictions = l1_total - self._l1_overprediction_baseline
+        # Off-chip overpredictions: blocks the prefetcher brought on-chip during
+        # the measurement phase that no demand access has used.
+        self.result.l2_overpredictions = sum(
+            1 for used in self._offchip_prefetched.values() if not used
+        )
+
+    def _reset_measurement(self) -> None:
+        """Begin the measurement phase: zero all counters, keep all state warm."""
+        traffic = BandwidthAccountant(block_size=self.config.block_size)
+        self.result = SimulationResult(
+            name=self.name, num_cpus=self.config.num_cpus, traffic=traffic
+        )
+        self._l1_overprediction_baseline = sum(
+            l1.stats.prefetched_evicted_unused for l1 in self.memory.l1_caches
+        )
+        self._instruction_baseline = dict(self._instruction_latest)
+        self._offchip_prefetched = {}
+
+    # ------------------------------------------------------------------ #
+    def run(self, trace: TraceStream, limit: Optional[int] = None) -> SimulationResult:
+        """Run ``trace`` through the engine and return the measurement-phase result.
+
+        The first ``config.warmup_fraction`` of the trace warms caches and
+        predictor state; counters are reset at the warmup boundary.  ``limit``
+        truncates the trace (useful for tests).
+        """
+        records = trace if isinstance(trace, list) else list(trace)
+        if limit is not None:
+            records = records[:limit]
+        warmup_count = int(len(records) * self.config.warmup_fraction)
+
+        self._measuring = warmup_count == 0
+        if self._measuring:
+            self._reset_measurement()
+
+        for index, record in enumerate(records):
+            if not self._measuring and index >= warmup_count:
+                self._reset_measurement()
+                self._measuring = True
+            self._step(record)
+
+        for prefetcher in self.prefetchers:
+            prefetcher.finalize()
+        self._snapshot_overpredictions()
+        self._finalize_instructions()
+        if isinstance(trace, TraceStream):
+            metadata = getattr(trace, "metadata", None)
+            if isinstance(metadata, WorkloadMetadata):
+                self.result.workload = metadata
+        return self.result
+
+    def _step(self, record: MemoryAccess) -> None:
+        outcome = self.memory.access(record)
+        self._instruction_latest[record.cpu] = max(
+            self._instruction_latest.get(record.cpu, 0), record.instruction_count
+        )
+        if self._measuring:
+            self._record_outcome(record, outcome)
+        prefetcher = self.prefetchers[record.cpu]
+        response = prefetcher.on_access(record, outcome)
+        if response.forced_evictions:
+            self._apply_forced_evictions(record.cpu, response.forced_evictions)
+        if response.prefetches:
+            self._apply_prefetches(record.cpu, response.prefetches)
+
+    def _finalize_instructions(self) -> None:
+        total = 0
+        for cpu, latest in self._instruction_latest.items():
+            baseline = self._instruction_baseline.get(cpu, 0)
+            total += max(0, latest - baseline)
+        self.result.instructions = max(total, 1)
+
+
+def run_simulation(
+    trace: TraceStream,
+    config: Optional[SimulationConfig] = None,
+    prefetcher_factory: Optional[PrefetcherFactory] = None,
+    name: str = "",
+    limit: Optional[int] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build an engine, run ``trace``, return the result."""
+    engine = SimulationEngine(config=config, prefetcher_factory=prefetcher_factory, name=name)
+    return engine.run(trace, limit=limit)

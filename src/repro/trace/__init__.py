@@ -1,0 +1,27 @@
+"""Trace infrastructure: memory-access records, streams, and statistics.
+
+Every simulation in this repository is trace-driven.  A *trace* is an
+iterable of :class:`~repro.trace.record.MemoryAccess` records, each one
+describing a single data reference (program counter, byte address,
+read/write, issuing CPU, and whether the access occurred in user or system
+mode).  Workload generators (:mod:`repro.workloads`) produce traces; the
+simulation engine (:mod:`repro.simulation`) consumes them.
+"""
+
+from repro.trace.record import AccessType, ExecutionMode, MemoryAccess
+from repro.trace.stream import InterleavedTrace, MaterializedTrace, TraceStream
+from repro.trace.reader import read_trace, write_trace
+from repro.trace.stats import TraceStatistics, summarize_trace
+
+__all__ = [
+    "AccessType",
+    "ExecutionMode",
+    "MemoryAccess",
+    "TraceStream",
+    "MaterializedTrace",
+    "InterleavedTrace",
+    "read_trace",
+    "write_trace",
+    "TraceStatistics",
+    "summarize_trace",
+]

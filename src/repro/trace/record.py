@@ -1,0 +1,117 @@
+"""Memory access records.
+
+The fundamental unit of simulation input is a :class:`MemoryAccess`: one data
+reference issued by one processor.  Records are deliberately tiny (slotted
+dataclasses) because traces routinely contain hundreds of thousands of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AccessType(enum.Enum):
+    """Kind of memory reference."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_read(self) -> bool:
+        return self is AccessType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.WRITE
+
+
+class ExecutionMode(enum.Enum):
+    """Privilege mode in which the access was issued.
+
+    The paper's Figure 13 breaks execution time into *user busy* and *system
+    busy* components; workload generators therefore tag every access with the
+    mode that issued it so the timing model can reproduce the breakdown.
+    """
+
+    USER = "user"
+    SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A single data reference.
+
+    Attributes
+    ----------
+    pc:
+        Program counter (byte address) of the load/store instruction.
+    address:
+        Byte address of the datum referenced.
+    access_type:
+        Read or write.
+    cpu:
+        Index of the issuing processor (0-based).
+    mode:
+        User or system execution mode.
+    instruction_count:
+        Number of instructions (including non-memory ones) the workload
+        executed up to and including this access.  Used to compute
+        misses-per-instruction and the busy components of the timing model.
+    """
+
+    pc: int
+    address: int
+    access_type: AccessType = AccessType.READ
+    cpu: int = 0
+    mode: ExecutionMode = ExecutionMode.USER
+    instruction_count: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError(f"pc must be non-negative, got {self.pc}")
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.cpu < 0:
+            raise ValueError(f"cpu must be non-negative, got {self.cpu}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.access_type.is_read
+
+    @property
+    def is_write(self) -> bool:
+        return self.access_type.is_write
+
+    def block_address(self, block_size: int) -> int:
+        """Return the address of the cache block containing this access."""
+        return self.address & ~(block_size - 1)
+
+    def region_base(self, region_size: int) -> int:
+        """Return the base address of the spatial region containing this access."""
+        return self.address & ~(region_size - 1)
+
+    def region_offset(self, region_size: int, block_size: int) -> int:
+        """Return the block offset of this access within its spatial region."""
+        return (self.address & (region_size - 1)) // block_size
+
+    def with_cpu(self, cpu: int) -> "MemoryAccess":
+        """Return a copy of this record re-attributed to ``cpu``."""
+        return MemoryAccess(
+            pc=self.pc,
+            address=self.address,
+            access_type=self.access_type,
+            cpu=cpu,
+            mode=self.mode,
+            instruction_count=self.instruction_count,
+        )
+
+
+def read_access(pc: int, address: int, cpu: int = 0, **kwargs) -> MemoryAccess:
+    """Convenience constructor for a read access."""
+    return MemoryAccess(pc=pc, address=address, access_type=AccessType.READ, cpu=cpu, **kwargs)
+
+
+def write_access(pc: int, address: int, cpu: int = 0, **kwargs) -> MemoryAccess:
+    """Convenience constructor for a write access."""
+    return MemoryAccess(pc=pc, address=address, access_type=AccessType.WRITE, cpu=cpu, **kwargs)

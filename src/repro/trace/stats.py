@@ -1,0 +1,79 @@
+"""Trace-level statistics.
+
+These summaries are used by tests (to validate that workload generators
+produce traces with the intended structure) and by the analysis package.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.trace.record import ExecutionMode, MemoryAccess
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate statistics over a trace."""
+
+    total_accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    user_accesses: int = 0
+    system_accesses: int = 0
+    unique_pcs: int = 0
+    unique_blocks: int = 0
+    unique_regions: int = 0
+    accesses_per_cpu: Dict[int, int] = field(default_factory=dict)
+    max_instruction_count: int = 0
+
+    @property
+    def read_fraction(self) -> float:
+        return self.reads / self.total_accesses if self.total_accesses else 0.0
+
+    @property
+    def write_fraction(self) -> float:
+        return self.writes / self.total_accesses if self.total_accesses else 0.0
+
+    @property
+    def system_fraction(self) -> float:
+        return self.system_accesses / self.total_accesses if self.total_accesses else 0.0
+
+    @property
+    def num_cpus(self) -> int:
+        return len(self.accesses_per_cpu)
+
+
+def summarize_trace(
+    records: Iterable[MemoryAccess],
+    block_size: int = 64,
+    region_size: int = 2048,
+) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for ``records``."""
+    stats = TraceStatistics()
+    pcs = set()
+    blocks = set()
+    regions = set()
+    per_cpu: Counter = Counter()
+    for record in records:
+        stats.total_accesses += 1
+        if record.is_read:
+            stats.reads += 1
+        else:
+            stats.writes += 1
+        if record.mode is ExecutionMode.SYSTEM:
+            stats.system_accesses += 1
+        else:
+            stats.user_accesses += 1
+        pcs.add(record.pc)
+        blocks.add(record.block_address(block_size))
+        regions.add(record.region_base(region_size))
+        per_cpu[record.cpu] += 1
+        if record.instruction_count > stats.max_instruction_count:
+            stats.max_instruction_count = record.instruction_count
+    stats.unique_pcs = len(pcs)
+    stats.unique_blocks = len(blocks)
+    stats.unique_regions = len(regions)
+    stats.accesses_per_cpu = dict(per_cpu)
+    return stats

@@ -1,0 +1,154 @@
+"""Trace streams.
+
+A :class:`TraceStream` is a reusable, named source of
+:class:`~repro.trace.record.MemoryAccess` records.  Streams can be
+materialized (a list in memory), generated lazily from a callable, or built
+by interleaving several per-processor streams into one multiprocessor trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.trace.record import MemoryAccess
+
+
+class TraceStream:
+    """Base class for replayable access streams.
+
+    Subclasses must implement :meth:`__iter__` such that iterating the stream
+    twice yields the same sequence of records (replayability is what lets the
+    benchmark harness run the same trace through many predictor
+    configurations).
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+
+    def __iter__(self) -> Iterator[MemoryAccess]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def materialize(self) -> "MaterializedTrace":
+        """Return an in-memory copy of this stream."""
+        return MaterializedTrace(list(self), name=self.name)
+
+    def take(self, count: int) -> "MaterializedTrace":
+        """Return the first ``count`` records as a materialized trace."""
+        records: List[MemoryAccess] = []
+        for record in self:
+            if len(records) >= count:
+                break
+            records.append(record)
+        return MaterializedTrace(records, name=f"{self.name}[:{count}]")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class MaterializedTrace(TraceStream):
+    """A trace held entirely in memory."""
+
+    def __init__(self, records: Sequence[MemoryAccess], name: str = "trace") -> None:
+        super().__init__(name=name)
+        self._records = list(records)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    def append(self, record: MemoryAccess) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[MemoryAccess]) -> None:
+        self._records.extend(records)
+
+    @property
+    def records(self) -> List[MemoryAccess]:
+        return self._records
+
+    def split_warmup(self, fraction: float = 0.5) -> tuple:
+        """Split into (warmup, measurement) traces.
+
+        The paper uses half of each trace for warm-up prior to collecting
+        experimental results (Section 4); this helper mirrors that.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        cut = int(len(self._records) * fraction)
+        warm = MaterializedTrace(self._records[:cut], name=f"{self.name}:warmup")
+        meas = MaterializedTrace(self._records[cut:], name=f"{self.name}:measure")
+        return warm, meas
+
+
+class GeneratedTrace(TraceStream):
+    """A trace produced lazily by a factory callable.
+
+    The factory is invoked afresh on every iteration so that the stream is
+    replayable provided the factory is deterministic.
+    """
+
+    def __init__(self, factory: Callable[[], Iterable[MemoryAccess]], name: str = "generated") -> None:
+        super().__init__(name=name)
+        self._factory = factory
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self._factory())
+
+
+class InterleavedTrace(TraceStream):
+    """Interleave several per-processor traces into one multiprocessor trace.
+
+    Records from each input stream are drawn in bursts whose lengths are
+    sampled from a geometric distribution, which mimics the fine-grain
+    interleaving of independent processors sharing a memory system.  Each
+    input stream's records are re-attributed to the CPU index of its slot.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[TraceStream],
+        seed: int = 0,
+        mean_burst: int = 8,
+        name: Optional[str] = None,
+        reassign_cpus: bool = True,
+    ) -> None:
+        if not streams:
+            raise ValueError("InterleavedTrace requires at least one input stream")
+        if mean_burst < 1:
+            raise ValueError(f"mean_burst must be >= 1, got {mean_burst}")
+        super().__init__(name=name or "+".join(s.name for s in streams))
+        self._streams = list(streams)
+        self._seed = seed
+        self._mean_burst = mean_burst
+        self._reassign_cpus = reassign_cpus
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        rng = random.Random(self._seed)
+        iterators = [iter(s) for s in self._streams]
+        active = list(range(len(iterators)))
+        while active:
+            slot = rng.choice(active)
+            burst = 1 + int(rng.expovariate(1.0 / self._mean_burst))
+            for _ in range(burst):
+                try:
+                    record = next(iterators[slot])
+                except StopIteration:
+                    active.remove(slot)
+                    break
+                if self._reassign_cpus and record.cpu != slot:
+                    record = record.with_cpu(slot)
+                yield record
+
+
+def concatenate(streams: Sequence[TraceStream], name: str = "concat") -> MaterializedTrace:
+    """Concatenate several streams end to end into one materialized trace."""
+    records: List[MemoryAccess] = []
+    for stream in streams:
+        records.extend(stream)
+    return MaterializedTrace(records, name=name)

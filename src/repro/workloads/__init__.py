@@ -1,0 +1,56 @@
+"""Synthetic workload models.
+
+The paper evaluates SMS on full-system traces of commercial and scientific
+applications (Table 1).  Those traces cannot be regenerated outside the
+authors' FLEXUS/Simics environment, so this package provides synthetic
+generators that reproduce the *structural* properties each workload class is
+characterised by in the paper:
+
+* **OLTP** (DB2, Oracle on TPC-C) — buffer-pool pages with fixed structural
+  elements (header, slot index) plus per-table tuple footprints, B-tree
+  descents, heavy interleaving across concurrently-open pages, shared log /
+  lock structures written by all processors.
+* **DSS** (TPC-H Q1, Q2, Q16, Q17 on DB2) — scan- and join-dominated queries
+  that sweep data touched only once (so address-indexed predictors fail but
+  code-indexed predictors succeed), with dense per-page footprints and little
+  cross-region interleaving (so delta-correlation prefetchers also do well).
+* **Web** (Apache, Zeus on SPECweb99) — per-connection structures and packet
+  header/trailer walks with fixed layout, many interleaved connections, and a
+  large system-mode component.
+* **Scientific** (em3d, ocean, sparse) — dense, regular sweeps with partition
+  boundary sharing; em3d adds bursty irregular remote accesses, sparse is a
+  large working-set streaming kernel.
+"""
+
+from repro.workloads.base import SyntheticWorkload, WorkloadMetadata, AddressSpace, FootprintLibrary
+from repro.workloads.oltp import OLTPWorkload
+from repro.workloads.dss import DSSQueryWorkload
+from repro.workloads.web import WebServerWorkload
+from repro.workloads.scientific import Em3dWorkload, OceanWorkload, SparseWorkload
+from repro.workloads.suite import (
+    APPLICATION_NAMES,
+    CATEGORIES,
+    all_workloads,
+    make_workload,
+    representative_workloads,
+    workloads_by_category,
+)
+
+__all__ = [
+    "SyntheticWorkload",
+    "WorkloadMetadata",
+    "AddressSpace",
+    "FootprintLibrary",
+    "OLTPWorkload",
+    "DSSQueryWorkload",
+    "WebServerWorkload",
+    "Em3dWorkload",
+    "OceanWorkload",
+    "SparseWorkload",
+    "APPLICATION_NAMES",
+    "CATEGORIES",
+    "make_workload",
+    "all_workloads",
+    "workloads_by_category",
+    "representative_workloads",
+]

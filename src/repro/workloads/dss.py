@@ -1,0 +1,240 @@
+"""DSS (TPC-H) workload model.
+
+Models the decision-support queries of Table 1, all run on DB2:
+
+* **Qry 1** — scan-dominated: a sequential sweep over a table far larger than
+  the cache hierarchy, aggregating into a small temporary table.  Data is
+  visited only once (so address-indexed predictors cannot help, Section 2.2),
+  footprints are dense, and the heavy stream of stores to the temporary table
+  is what fills the store buffer and limits SMS's benefit (Section 4.7).
+* **Qry 2 / Qry 16** — join-dominated: a build scan over the inner relation
+  populating a hash table, then a probe scan over the outer relation with a
+  hash-bucket access per probe.
+* **Qry 17** — balanced scan/join behaviour.
+
+DSS differs from OLTP in two ways that matter for the evaluation: accesses
+within a processor are largely *not* interleaved across regions (each
+operator streams through its input), which is why GHB's delta correlation
+nearly matches SMS here (Figure 11); and the scanned data is touched only
+once, which is why PC-based indices beat address-based ones (Figure 6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List
+
+from repro.trace.record import MemoryAccess
+from repro.workloads.base import (
+    AddressSpace,
+    CpuContext,
+    FootprintLibrary,
+    SyntheticWorkload,
+    WorkloadMetadata,
+)
+
+_PC_SCAN = 0x50_0000
+_PC_SCAN_HEADER = 0x51_0000
+_PC_AGGREGATE = 0x52_0000
+_PC_BUILD = 0x53_0000
+_PC_PROBE = 0x54_0000
+_PC_HASH_BUCKET = 0x55_0000
+_PC_TEMP_WRITE = 0x56_0000
+
+_PAGE_SIZE = 8192
+_BLOCKS_PER_PAGE = _PAGE_SIZE // 64
+
+
+class DSSQueryWorkload(SyntheticWorkload):
+    """TPC-H decision-support query on DB2."""
+
+    VARIANTS: Dict[str, Dict] = {
+        "qry1": dict(
+            description="TPC-H Q1: scan-dominated aggregation, 450 MB buffer pool",
+            scan_fraction=0.85,
+            join_fraction=0.0,
+            temp_write_blocks=(8, 14),
+            tuple_blocks=2,
+            mlp_hint=2.2,
+            store_intensity=1.0,
+            system_fraction=0.06,
+            overlap_discount=0.35,
+            memory_stall_fraction=0.75,
+        ),
+        "qry2": dict(
+            description="TPC-H Q2: join-dominated, 450 MB buffer pool",
+            scan_fraction=0.40,
+            join_fraction=0.50,
+            temp_write_blocks=(0, 1),
+            tuple_blocks=3,
+            mlp_hint=2.0,
+            store_intensity=0.10,
+            system_fraction=0.06,
+            overlap_discount=0.15,
+            memory_stall_fraction=0.60,
+        ),
+        "qry16": dict(
+            description="TPC-H Q16: join-dominated, 450 MB buffer pool",
+            scan_fraction=0.35,
+            join_fraction=0.55,
+            temp_write_blocks=(0, 1),
+            tuple_blocks=4,
+            mlp_hint=2.0,
+            store_intensity=0.12,
+            system_fraction=0.06,
+            overlap_discount=0.15,
+            memory_stall_fraction=0.60,
+        ),
+        "qry17": dict(
+            description="TPC-H Q17: balanced scan-join, 450 MB buffer pool",
+            scan_fraction=0.60,
+            join_fraction=0.30,
+            temp_write_blocks=(1, 2),
+            tuple_blocks=3,
+            mlp_hint=2.1,
+            store_intensity=0.20,
+            system_fraction=0.06,
+            overlap_discount=0.18,
+            memory_stall_fraction=0.65,
+        ),
+    }
+
+    def __init__(self, variant: str = "qry1", **kwargs) -> None:
+        variant = variant.lower()
+        if variant not in self.VARIANTS:
+            raise ValueError(f"unknown DSS variant {variant!r}; choose from {sorted(self.VARIANTS)}")
+        params = self.VARIANTS[variant]
+        # Each scanned tuple is processed by predicate/aggregation code, so DSS
+        # executes far more instructions per data reference than OLTP.
+        kwargs.setdefault("instructions_per_access", 9.0)
+        self.variant = variant
+        self.metadata = WorkloadMetadata(
+            name=f"dss-{variant}",
+            category="DSS",
+            description=params["description"],
+            mlp_hint=params["mlp_hint"],
+            store_intensity=params["store_intensity"],
+            system_fraction=params["system_fraction"],
+            overlap_discount=params.get("overlap_discount", 0.0),
+            memory_stall_fraction=params.get("memory_stall_fraction", 0.6),
+        )
+        super().__init__(**kwargs)
+        self.scan_fraction = params["scan_fraction"]
+        self.join_fraction = params["join_fraction"]
+        self.temp_write_blocks = params["temp_write_blocks"]
+        self.tuple_blocks = params["tuple_blocks"]
+
+        # The scanned relations are far larger than the cache hierarchy; each
+        # CPU sweeps its own partition so data is touched exactly once.
+        self.space = AddressSpace(alignment=_PAGE_SIZE)
+        self.space.allocate("fact_table", 512 * 1024 * 1024)
+        self.space.allocate("inner_table", 64 * 1024 * 1024)
+        self.space.allocate("hash_table", 8 * 1024 * 1024)
+        self.space.allocate("temp_table", 16 * 1024 * 1024)
+        self.space.allocate("os", 1 * 1024 * 1024)
+
+        self.footprints = FootprintLibrary(blocks_per_region=_BLOCKS_PER_PAGE)
+        self.footprints.define("page_header", [0, 1])
+        self.footprints.define("os_syscall", [0, 1, 2, 10])
+
+    # ------------------------------------------------------------------ #
+    def _scan_page(
+        self,
+        context: CpuContext,
+        base: int,
+        pc_scan: int,
+        write_probability: float = 0.0,
+    ) -> Iterator[MemoryAccess]:
+        """Sweep one 8 kB page: header, then tuples at the table's stride."""
+        rng = context.rng
+        header = self.footprints.sample("page_header", rng, drop_probability=0.02)
+        yield from self.footprint_accesses(context, base, header, pc_base=_PC_SCAN_HEADER)
+        offset = 2
+        while offset < _BLOCKS_PER_PAGE:
+            # The scan touches the first block(s) of every tuple.
+            touched = min(self.tuple_blocks, 2)
+            for extra in range(touched):
+                if offset + extra >= _BLOCKS_PER_PAGE:
+                    break
+                address = base + (offset + extra) * self.block_size
+                write = rng.random() < write_probability
+                yield self.make_access(context, pc=pc_scan + 4 * extra, address=address, write=write)
+            offset += self.tuple_blocks
+
+    def _temp_table_append(self, context: CpuContext, cursor: List[int]) -> Iterator[MemoryAccess]:
+        """Aggregate results: a burst of stores to the (per-CPU) temp table tail."""
+        base = self.space.base("temp_table")
+        size = self.space.size("temp_table")
+        per_cpu = size // max(1, self.num_cpus)
+        cpu_base = base + context.cpu * per_cpu
+        low, high = self.temp_write_blocks
+        blocks = context.rng.randint(low, high) if high > 0 else 0
+        for _ in range(blocks):
+            address = cpu_base + (cursor[0] * self.block_size) % per_cpu
+            cursor[0] += 1
+            yield self.make_access(context, pc=_PC_TEMP_WRITE, address=address, write=True)
+
+    def _hash_probe(self, context: CpuContext) -> Iterator[MemoryAccess]:
+        """Probe one hash bucket: a small fixed footprint at a hashed offset."""
+        rng = context.rng
+        base = self.space.base("hash_table")
+        regions = self.space.size("hash_table") // 2048
+        region = base + rng.randrange(regions) * 2048
+        bucket = rng.randrange(0, 30)
+        offsets = [bucket, bucket + 1]
+        yield from self.footprint_accesses(context, region, offsets, pc_base=_PC_HASH_BUCKET)
+
+    def _os_activity(self, context: CpuContext) -> Iterator[MemoryAccess]:
+        rng = context.rng
+        base = self.space.base("os")
+        pages = self.space.size("os") // _PAGE_SIZE
+        page = rng.randrange(pages)
+        offsets = self.footprints.sample("os_syscall", rng, drop_probability=0.1)
+        yield from self.footprint_accesses(
+            context, base + page * _PAGE_SIZE, offsets, pc_base=0x5F_0000, system=True
+        )
+
+    # ------------------------------------------------------------------ #
+    def cpu_stream(self, context: CpuContext) -> Iterator[MemoryAccess]:
+        rng = context.rng
+        fact_base = self.space.base("fact_table")
+        fact_pages = self.space.size("fact_table") // _PAGE_SIZE
+        inner_base = self.space.base("inner_table")
+        inner_pages = self.space.size("inner_table") // _PAGE_SIZE
+        pages_per_cpu = fact_pages // self.num_cpus
+        inner_per_cpu = max(1, inner_pages // self.num_cpus)
+
+        scan_cursor = context.cpu * pages_per_cpu
+        probe_cursor = context.cpu * pages_per_cpu
+        build_cursor = context.cpu * inner_per_cpu
+        temp_cursor = [0]
+
+        while True:
+            draw = rng.random()
+            if draw < self.scan_fraction:
+                # Sequential scan of the next fact-table page, then aggregate.
+                base = fact_base + (scan_cursor % fact_pages) * _PAGE_SIZE
+                scan_cursor += 1
+                yield from self._scan_page(context, base, _PC_SCAN)
+                yield from self._temp_table_append(context, temp_cursor)
+            elif draw < self.scan_fraction + self.join_fraction:
+                if rng.random() < 0.4:
+                    # Build: scan an inner-table page and insert into the hash table.
+                    base = inner_base + (build_cursor % inner_pages) * _PAGE_SIZE
+                    build_cursor += 1
+                    yield from self._scan_page(context, base, _PC_BUILD)
+                    for _ in range(rng.randint(2, 4)):
+                        yield from self._hash_probe(context)
+                else:
+                    # Probe: scan an outer-table page, probing a bucket per tuple group.
+                    base = fact_base + (probe_cursor % fact_pages) * _PAGE_SIZE
+                    probe_cursor += 1
+                    yield from self._scan_page(context, base, _PC_PROBE)
+                    for _ in range(rng.randint(3, 6)):
+                        yield from self._hash_probe(context)
+            elif draw < self.scan_fraction + self.join_fraction + self.metadata.system_fraction:
+                yield from self._os_activity(context)
+            else:
+                # Residual aggregation / bookkeeping work.
+                yield from self._temp_table_append(context, temp_cursor)
+                yield from self._hash_probe(context)

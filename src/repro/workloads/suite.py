@@ -1,0 +1,108 @@
+"""Workload suite registry.
+
+Table 1 of the paper lists eleven applications in four categories.  This
+module provides factories that build any of them by name, grouped access by
+category, and the default representative used by the class-level sensitivity
+studies (Figures 6-10), which the paper reports per category.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.dss import DSSQueryWorkload
+from repro.workloads.oltp import OLTPWorkload
+from repro.workloads.scientific import Em3dWorkload, OceanWorkload, SparseWorkload
+from repro.workloads.web import WebServerWorkload
+
+#: Category names in the paper's presentation order.
+CATEGORIES: List[str] = ["OLTP", "DSS", "Web", "Scientific"]
+
+#: Application names in the paper's presentation order (Table 1 / Figure 11).
+APPLICATION_NAMES: List[str] = [
+    "oltp-db2",
+    "oltp-oracle",
+    "dss-qry1",
+    "dss-qry2",
+    "dss-qry16",
+    "dss-qry17",
+    "web-apache",
+    "web-zeus",
+    "em3d",
+    "ocean",
+    "sparse",
+]
+
+_FACTORIES: Dict[str, Callable[..., SyntheticWorkload]] = {
+    "oltp-db2": lambda **kw: OLTPWorkload(variant="db2", **kw),
+    "oltp-oracle": lambda **kw: OLTPWorkload(variant="oracle", **kw),
+    "dss-qry1": lambda **kw: DSSQueryWorkload(variant="qry1", **kw),
+    "dss-qry2": lambda **kw: DSSQueryWorkload(variant="qry2", **kw),
+    "dss-qry16": lambda **kw: DSSQueryWorkload(variant="qry16", **kw),
+    "dss-qry17": lambda **kw: DSSQueryWorkload(variant="qry17", **kw),
+    "web-apache": lambda **kw: WebServerWorkload(variant="apache", **kw),
+    "web-zeus": lambda **kw: WebServerWorkload(variant="zeus", **kw),
+    "em3d": lambda **kw: Em3dWorkload(**kw),
+    "ocean": lambda **kw: OceanWorkload(**kw),
+    "sparse": lambda **kw: SparseWorkload(**kw),
+}
+
+_CATEGORY_MEMBERS: Dict[str, List[str]] = {
+    "OLTP": ["oltp-db2", "oltp-oracle"],
+    "DSS": ["dss-qry1", "dss-qry2", "dss-qry16", "dss-qry17"],
+    "Web": ["web-apache", "web-zeus"],
+    "Scientific": ["em3d", "ocean", "sparse"],
+}
+
+#: The application used to represent its category in class-level studies.
+_REPRESENTATIVES: Dict[str, str] = {
+    "OLTP": "oltp-db2",
+    "DSS": "dss-qry2",
+    "Web": "web-apache",
+    "Scientific": "ocean",
+}
+
+
+def make_workload(name: str, **overrides) -> SyntheticWorkload:
+    """Build a workload by its Table-1 name (e.g. ``"oltp-db2"``, ``"sparse"``)."""
+    key = name.lower().strip()
+    if key not in _FACTORIES:
+        raise ValueError(f"unknown workload {name!r}; choose from {APPLICATION_NAMES}")
+    return _FACTORIES[key](**overrides)
+
+
+def all_workloads(**overrides) -> List[SyntheticWorkload]:
+    """Build every application in the suite."""
+    return [make_workload(name, **overrides) for name in APPLICATION_NAMES]
+
+
+def workloads_by_category(category: str, **overrides) -> List[SyntheticWorkload]:
+    """Build every application of one category (``"OLTP"``, ``"DSS"``, ``"Web"``,
+    ``"Scientific"``)."""
+    if category not in _CATEGORY_MEMBERS:
+        raise ValueError(f"unknown category {category!r}; choose from {CATEGORIES}")
+    return [make_workload(name, **overrides) for name in _CATEGORY_MEMBERS[category]]
+
+
+def category_members(category: str) -> List[str]:
+    """Return the application names belonging to ``category``."""
+    if category not in _CATEGORY_MEMBERS:
+        raise ValueError(f"unknown category {category!r}; choose from {CATEGORIES}")
+    return list(_CATEGORY_MEMBERS[category])
+
+
+def representative_workloads(**overrides) -> Dict[str, SyntheticWorkload]:
+    """One representative application per category (used by Figures 6-10)."""
+    return {
+        category: make_workload(name, **overrides)
+        for category, name in _REPRESENTATIVES.items()
+    }
+
+
+def category_of(name: str) -> Optional[str]:
+    """Return the category an application belongs to, or None if unknown."""
+    for category, members in _CATEGORY_MEMBERS.items():
+        if name in members:
+            return category
+    return None

@@ -1,0 +1,223 @@
+"""Web server (SPECweb99) workload model.
+
+Models the memory behaviour of Apache and Zeus serving SPECweb99 traffic
+(Table 1): per-connection state objects with a fixed layout, packet header
+and trailer walks with "arbitrarily complex but fixed structure" (Section 2),
+a hot file cache read sequentially, and a large system-mode component for the
+kernel network stack.  Like OLTP, a processor has many connections in flight
+at once, so accesses to different regions are heavily interleaved — the
+property that lets SMS outperform delta-correlation prefetchers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List
+
+from repro.trace.record import MemoryAccess
+from repro.workloads.base import (
+    AddressSpace,
+    CpuContext,
+    FootprintLibrary,
+    SyntheticWorkload,
+    WorkloadMetadata,
+)
+from repro.workloads.oltp import _interleave_operations, _restamp_instruction_counts
+
+_PC_CONN_LOOKUP = 0x60_0000
+_PC_PACKET_PARSE = 0x61_0000
+_PC_PACKET_TRAILER = 0x62_0000
+_PC_FILE_READ = 0x63_0000
+_PC_RESPONSE_WRITE = 0x64_0000
+_PC_KERNEL_STACK = 0x65_0000
+_PC_LISTEN_QUEUE = 0x66_0000
+
+_REGION = 2048
+_BLOCKS_PER_REGION = _REGION // 64
+_PAGE_SIZE = 8192
+
+
+class WebServerWorkload(SyntheticWorkload):
+    """SPECweb99 on Apache or Zeus."""
+
+    VARIANTS: Dict[str, Dict] = {
+        "apache": dict(
+            description="SPECweb99 on Apache 2.0: 16K connections, FastCGI, worker threads",
+            connections=4096,
+            file_cache_mb=24,
+            packets_per_request=(2, 5),
+            mlp_hint=1.6,
+            store_intensity=0.15,
+            system_fraction=0.30,
+            overlap_discount=0.25,
+            memory_stall_fraction=0.60,
+        ),
+        "zeus": dict(
+            description="SPECweb99 on Zeus 4.3: 16K connections, FastCGI",
+            connections=4096,
+            file_cache_mb=32,
+            packets_per_request=(2, 4),
+            mlp_hint=1.7,
+            store_intensity=0.12,
+            system_fraction=0.26,
+            overlap_discount=0.25,
+            memory_stall_fraction=0.60,
+        ),
+    }
+
+    def __init__(self, variant: str = "apache", concurrent_requests: int = 4, **kwargs) -> None:
+        variant = variant.lower()
+        if variant not in self.VARIANTS:
+            raise ValueError(f"unknown web variant {variant!r}; choose from {sorted(self.VARIANTS)}")
+        if concurrent_requests <= 0:
+            raise ValueError(f"concurrent_requests must be positive, got {concurrent_requests}")
+        params = self.VARIANTS[variant]
+        kwargs.setdefault("instructions_per_access", 3.5)
+        self.variant = variant
+        self.metadata = WorkloadMetadata(
+            name=f"web-{variant}",
+            category="Web",
+            description=params["description"],
+            mlp_hint=params["mlp_hint"],
+            store_intensity=params["store_intensity"],
+            system_fraction=params["system_fraction"],
+            overlap_discount=params.get("overlap_discount", 0.0),
+            memory_stall_fraction=params.get("memory_stall_fraction", 0.6),
+        )
+        super().__init__(**kwargs)
+        self.connections = params["connections"]
+        self.file_cache_bytes = params["file_cache_mb"] * 1024 * 1024
+        self.packets_per_request = params["packets_per_request"]
+        # A server processor juggles many connections at once (16K connections
+        # in SPECweb99); their packet walks and file reads interleave.
+        self.concurrent_requests = concurrent_requests
+
+        self.space = AddressSpace(alignment=_PAGE_SIZE)
+        self.space.allocate("connection_pool", self.connections * _REGION)
+        self.space.allocate("packet_buffers", 2048 * _REGION)
+        self.space.allocate("file_cache", self.file_cache_bytes)
+        self.space.allocate("listen_queue", 64 * 1024)
+        self.space.allocate("kernel", 4 * 1024 * 1024)
+
+        self.footprints = FootprintLibrary(blocks_per_region=_BLOCKS_PER_REGION)
+        # Connection object: request state, timers, and socket bookkeeping.
+        self.footprints.define("connection", [0, 1, 2, 5, 8, 9])
+        # Packet header at the front of the buffer, trailer at the end.
+        self.footprints.define("packet_header", [0, 1, 2])
+        self.footprints.define("packet_trailer", [_BLOCKS_PER_REGION - 2, _BLOCKS_PER_REGION - 1])
+        # Kernel socket / protocol control blocks.
+        self.footprints.define("kernel_pcb", [0, 1, 4, 6])
+        self.footprints.define("kernel_softirq", [0, 2, 3, 7, 12])
+
+    # ------------------------------------------------------------------ #
+    def _connection_touch(self, context: CpuContext, connection: int, write: bool) -> List[MemoryAccess]:
+        base = self.space.base("connection_pool") + connection * _REGION
+        offsets = self.footprints.sample("connection", context.rng, drop_probability=0.12)
+        return list(
+            self.footprint_accesses(
+                context,
+                base,
+                offsets,
+                pc_base=_PC_CONN_LOOKUP,
+                write_probability=0.35 if write else 0.05,
+            )
+        )
+
+    def _packet_walk(self, context: CpuContext) -> List[MemoryAccess]:
+        rng = context.rng
+        buffers = self.space.size("packet_buffers") // _REGION
+        base = self.space.base("packet_buffers") + rng.randrange(buffers) * _REGION
+        accesses: List[MemoryAccess] = []
+        header = self.footprints.sample("packet_header", rng, drop_probability=0.05)
+        accesses.extend(
+            self.footprint_accesses(context, base, header, pc_base=_PC_PACKET_PARSE, system=True)
+        )
+        # Payload: a short dense run whose length varies with packet size.  The
+        # copy loop strides with a single load PC.
+        payload_blocks = rng.randint(2, 10)
+        payload = list(range(3, min(3 + payload_blocks, _BLOCKS_PER_REGION - 2)))
+        accesses.extend(
+            self.footprint_accesses(
+                context,
+                base,
+                payload,
+                pc_base=_PC_PACKET_PARSE + 0x100,
+                write_probability=0.1,
+                loop_pc=True,
+            )
+        )
+        trailer = self.footprints.sample("packet_trailer", rng, drop_probability=0.05)
+        accesses.extend(
+            self.footprint_accesses(context, base, trailer, pc_base=_PC_PACKET_TRAILER, system=True)
+        )
+        return accesses
+
+    def _file_read(self, context: CpuContext) -> List[MemoryAccess]:
+        rng = context.rng
+        regions = self.file_cache_bytes // _REGION
+        # SPECweb's file popularity is heavily skewed: mostly hot files.
+        if rng.random() < 0.7:
+            region_index = rng.randrange(max(1, regions // 32))
+        else:
+            region_index = rng.randrange(regions)
+        base = self.space.base("file_cache") + region_index * _REGION
+        length = rng.randint(8, _BLOCKS_PER_REGION)
+        offsets = list(range(0, length))
+        return list(
+            self.footprint_accesses(
+                context, base, offsets, pc_base=_PC_FILE_READ, loop_pc=True
+            )
+        )
+
+    def _kernel_work(self, context: CpuContext) -> List[MemoryAccess]:
+        rng = context.rng
+        name = "kernel_pcb" if rng.random() < 0.6 else "kernel_softirq"
+        regions = self.space.size("kernel") // _REGION
+        base = self.space.base("kernel") + rng.randrange(regions) * _REGION
+        offsets = self.footprints.sample(name, rng, drop_probability=0.1)
+        pc_base = _PC_KERNEL_STACK + (0 if name == "kernel_pcb" else 0x200)
+        return list(
+            self.footprint_accesses(
+                context, base, offsets, pc_base=pc_base, write_probability=0.25, system=True
+            )
+        )
+
+    def _listen_queue(self, context: CpuContext) -> List[MemoryAccess]:
+        rng = context.rng
+        size = self.space.size("listen_queue")
+        base = self.space.base("listen_queue")
+        block = rng.randrange(size // self.block_size)
+        return [
+            self.make_access(
+                context,
+                pc=_PC_LISTEN_QUEUE,
+                address=base + block * self.block_size,
+                write=rng.random() < 0.5,
+                system=True,
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    def cpu_stream(self, context: CpuContext) -> Iterator[MemoryAccess]:
+        rng = context.rng
+        while True:
+            # Each request: accept, parse packets, touch the connection, read
+            # the file, write the response.  Several requests are in flight at
+            # once on a processor, so all their operations interleave.
+            operations: List[List[MemoryAccess]] = []
+            for _ in range(self.concurrent_requests):
+                operations.append(self._listen_queue(context))
+                connection = rng.randrange(self.connections)
+                operations.append(self._connection_touch(context, connection, write=True))
+                low, high = self.packets_per_request
+                for _ in range(rng.randint(low, high)):
+                    operations.append(self._packet_walk(context))
+                operations.append(self._file_read(context))
+                operations.append(self._kernel_work(context))
+                if rng.random() < 0.5:
+                    other_connection = rng.randrange(self.connections)
+                    operations.append(self._connection_touch(context, other_connection, write=False))
+
+            yield from _restamp_instruction_counts(
+                list(_interleave_operations(operations, rng))
+            )

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.region import RegionGeometry
+from repro.simulation.config import SimulationConfig
+from repro.trace.record import AccessType, MemoryAccess
+
+
+@pytest.fixture
+def geometry() -> RegionGeometry:
+    """The paper's default geometry: 2 kB regions of 64 B blocks."""
+    return RegionGeometry(region_size=2048, block_size=64)
+
+
+@pytest.fixture
+def small_geometry() -> RegionGeometry:
+    """A tiny geometry (256 B regions of 64 B blocks) for hand-written traces."""
+    return RegionGeometry(region_size=256, block_size=64)
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """A small, fast simulation configuration for unit tests."""
+    return SimulationConfig(
+        num_cpus=2,
+        l1_capacity=8 * 1024,
+        l1_associativity=2,
+        l2_capacity=64 * 1024,
+        l2_associativity=4,
+        warmup_fraction=0.0,
+    )
+
+
+def make_read(pc: int, address: int, cpu: int = 0, icount: int = 0) -> MemoryAccess:
+    """Helper constructing a read access."""
+    return MemoryAccess(
+        pc=pc, address=address, access_type=AccessType.READ, cpu=cpu, instruction_count=icount
+    )
+
+
+def make_write(pc: int, address: int, cpu: int = 0, icount: int = 0) -> MemoryAccess:
+    """Helper constructing a write access."""
+    return MemoryAccess(
+        pc=pc, address=address, access_type=AccessType.WRITE, cpu=cpu, instruction_count=icount
+    )
+
+
+@pytest.fixture
+def read_factory():
+    return make_read
+
+
+@pytest.fixture
+def write_factory():
+    return make_write

@@ -1,0 +1,86 @@
+"""Tests for repro.analysis.coverage."""
+
+import pytest
+
+from repro.analysis.coverage import CoverageReport, compare_coverage, coverage_from_result
+from repro.simulation.engine import SimulationResult
+
+
+def result_with(l1_misses=100, l1_covered=50, l1_over=10, offchip=40, l2_covered=60, l2_over=5):
+    result = SimulationResult(name="r")
+    result.l1_read_misses = l1_misses
+    result.l1_read_covered = l1_covered
+    result.l1_overpredictions = l1_over
+    result.offchip_read_misses = offchip
+    result.l2_read_covered = l2_covered
+    result.l2_overpredictions = l2_over
+    return result
+
+
+class TestCoverageReport:
+    def test_fractions(self):
+        report = CoverageReport(
+            name="x", level="L1", baseline_misses=200, covered=120, uncovered=80, overpredictions=40
+        )
+        assert report.coverage == pytest.approx(0.6)
+        assert report.uncovered_fraction == pytest.approx(0.4)
+        assert report.overprediction_fraction == pytest.approx(0.2)
+
+    def test_zero_baseline(self):
+        report = CoverageReport(
+            name="x", level="L1", baseline_misses=0, covered=0, uncovered=0, overpredictions=0
+        )
+        assert report.coverage == 0.0
+
+    def test_as_dict(self):
+        report = CoverageReport(
+            name="x", level="L2", baseline_misses=10, covered=5, uncovered=5, overpredictions=1
+        )
+        data = report.as_dict()
+        assert data["coverage"] == 0.5
+        assert data["level"] == "L2"
+
+
+class TestCoverageFromResult:
+    def test_l1(self):
+        report = coverage_from_result(result_with(), level="L1")
+        assert report.baseline_misses == 150
+        assert report.coverage == pytest.approx(50 / 150)
+        assert report.overprediction_fraction == pytest.approx(10 / 150)
+
+    def test_l2(self):
+        report = coverage_from_result(result_with(), level="L2")
+        assert report.baseline_misses == 100
+        assert report.coverage == pytest.approx(0.6)
+
+    def test_offchip_alias(self):
+        assert coverage_from_result(result_with(), level="offchip").level == "L2"
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            coverage_from_result(result_with(), level="L3")
+
+
+class TestCompareCoverage:
+    def test_l1_comparison(self):
+        baseline = result_with(l1_misses=200, l1_covered=0)
+        prefetching = result_with(l1_misses=80, l1_over=30)
+        report = compare_coverage(baseline, prefetching, level="L1")
+        assert report.coverage == pytest.approx(120 / 200)
+        assert report.overprediction_fraction == pytest.approx(30 / 200)
+
+    def test_l2_comparison(self):
+        baseline = result_with(offchip=100)
+        prefetching = result_with(offchip=20)
+        report = compare_coverage(baseline, prefetching, level="L2")
+        assert report.coverage == pytest.approx(0.8)
+
+    def test_prefetching_cannot_exceed_baseline(self):
+        baseline = result_with(l1_misses=50)
+        prefetching = result_with(l1_misses=70)  # pollution made it worse
+        report = compare_coverage(baseline, prefetching, level="L1")
+        assert report.coverage == 0.0
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            compare_coverage(result_with(), result_with(), level="L9")

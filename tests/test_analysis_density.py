@@ -1,0 +1,116 @@
+"""Tests for repro.analysis.density."""
+
+import pytest
+
+from repro.analysis.density import (
+    DENSITY_BINS,
+    DensityHistogram,
+    GenerationMissTracker,
+    bin_label_for,
+    measure_density,
+)
+from repro.core.region import RegionGeometry
+from repro.simulation.config import SimulationConfig
+from repro.trace.record import MemoryAccess
+
+
+class TestBins:
+    def test_bin_labels(self):
+        assert bin_label_for(1) == "1 block"
+        assert bin_label_for(3) == "2-3 blocks"
+        assert bin_label_for(7) == "4-7 blocks"
+        assert bin_label_for(20) == "16-23 blocks"
+        assert bin_label_for(32) == "32 blocks"
+        assert bin_label_for(128) == "32 blocks"
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            bin_label_for(0)
+
+    def test_bins_are_contiguous(self):
+        for (label_a, low_a, high_a), (label_b, low_b, high_b) in zip(DENSITY_BINS, DENSITY_BINS[1:]):
+            assert low_b == high_a + 1
+
+
+class TestDensityHistogram:
+    def test_record_and_fractions(self):
+        histogram = DensityHistogram(level="L1", region_size=2048)
+        histogram.record_generation(1)
+        histogram.record_generation(5)
+        histogram.record_generation(5)
+        assert histogram.generations == 3
+        assert histogram.total_misses == 11
+        assert histogram.fraction("1 block") == pytest.approx(1 / 11)
+        assert histogram.fraction("4-7 blocks") == pytest.approx(10 / 11)
+        assert histogram.mean_density() == pytest.approx(11 / 3)
+        assert histogram.oracle_misses == 3
+        assert histogram.multi_block_fraction() == pytest.approx(10 / 11)
+
+    def test_zero_density_generation_ignored(self):
+        histogram = DensityHistogram(level="L1", region_size=2048)
+        histogram.record_generation(0)
+        assert histogram.generations == 0
+
+
+class TestGenerationMissTracker:
+    def test_generation_ends_on_removal(self):
+        tracker = GenerationMissTracker("L1", RegionGeometry(), per_cpu=True)
+        tracker.on_miss(0, 0x1000)
+        tracker.on_miss(0, 0x1000 + 5 * 64)
+        tracker.on_removal(0, 0x1000)
+        assert tracker.histogram.generations == 1
+        assert tracker.histogram.total_misses == 2
+
+    def test_per_cpu_tracking(self):
+        tracker = GenerationMissTracker("L1", RegionGeometry(), per_cpu=True)
+        tracker.on_miss(0, 0x1000)
+        tracker.on_miss(1, 0x1000)
+        tracker.on_removal(0, 0x1000)
+        assert tracker.histogram.generations == 1
+        tracker.close_all()
+        assert tracker.histogram.generations == 2
+
+    def test_shared_tracking(self):
+        tracker = GenerationMissTracker("L2", RegionGeometry(), per_cpu=False)
+        tracker.on_miss(0, 0x1000)
+        tracker.on_miss(1, 0x1040)
+        tracker.close_all()
+        assert tracker.histogram.generations == 1
+        assert tracker.histogram.total_misses == 2
+
+    def test_duplicate_block_misses_counted_once(self):
+        tracker = GenerationMissTracker("L1", RegionGeometry(), per_cpu=True)
+        tracker.on_miss(0, 0x1000)
+        tracker.on_miss(0, 0x1020)  # same block
+        tracker.close_all()
+        assert tracker.histogram.total_misses == 1
+
+
+class TestMeasureDensity:
+    def _config(self):
+        return SimulationConfig(
+            num_cpus=1, l1_capacity=4 * 1024, l2_capacity=32 * 1024, warmup_fraction=0.0
+        )
+
+    def test_dense_trace_lands_in_dense_bins(self):
+        # Sweep entire 2kB regions: every generation has 32 missed blocks.
+        trace = [
+            MemoryAccess(pc=0x400, address=0x100000 + region * 2048 + block * 64)
+            for region in range(8)
+            for block in range(32)
+        ]
+        histograms = measure_density(trace, config=self._config())
+        assert histograms["L1"].fraction("32 blocks") > 0.9
+
+    def test_sparse_trace_lands_in_sparse_bins(self):
+        trace = [
+            MemoryAccess(pc=0x400, address=0x100000 + region * 2048)
+            for region in range(64)
+        ]
+        histograms = measure_density(trace, config=self._config())
+        assert histograms["L1"].fraction("1 block") > 0.9
+
+    def test_l2_histogram_present(self):
+        trace = [MemoryAccess(pc=0x400, address=i * 2048) for i in range(16)]
+        histograms = measure_density(trace, config=self._config())
+        assert histograms["L2"].oracle_misses > 0

@@ -1,0 +1,75 @@
+"""Tests for repro.analysis.opportunity."""
+
+import pytest
+
+from repro.analysis.opportunity import (
+    OpportunityResult,
+    measure_block_size_miss_rate,
+    measure_opportunity,
+    normalized_miss_rates,
+)
+from repro.simulation.config import SimulationConfig
+from repro.trace.record import MemoryAccess
+
+
+def dense_trace(regions=16, blocks=32, region_size=2048):
+    """Sweep whole regions: larger blocks/regions should show big oracle gains."""
+    return [
+        MemoryAccess(pc=0x400, address=0x100000 + r * region_size + b * 64, instruction_count=3 * (r * blocks + b))
+        for r in range(regions)
+        for b in range(blocks)
+    ]
+
+
+def tiny_config():
+    return SimulationConfig(
+        num_cpus=1,
+        l1_capacity=4 * 1024,
+        l2_capacity=32 * 1024,
+        warmup_fraction=0.0,
+    )
+
+
+class TestOpportunityResult:
+    def test_rates(self):
+        result = OpportunityResult(size=64, l1_misses=100, l2_misses=50,
+                                   l1_oracle_misses=10, l2_oracle_misses=5, instructions=1000)
+        assert result.l1_miss_rate() == pytest.approx(0.1)
+        assert result.l2_oracle_rate() == pytest.approx(0.005)
+
+
+class TestMeasureBlockSize:
+    def test_larger_blocks_reduce_misses_for_dense_trace(self):
+        trace = dense_trace()
+        small = measure_block_size_miss_rate(trace, tiny_config(), block_size=64)
+        large = measure_block_size_miss_rate(trace, tiny_config(), block_size=512)
+        assert large.l1_read_misses < small.l1_read_misses
+
+
+class TestMeasureOpportunity:
+    def test_oracle_beats_baseline_on_dense_trace(self):
+        trace = dense_trace()
+        results = measure_opportunity(trace, config=tiny_config(), sizes=[64, 2048])
+        base = results[64]
+        big = results[2048]
+        # One miss per 2kB generation vs one miss per 64B block.
+        assert big.l1_oracle_misses < base.l1_misses
+        assert big.l1_oracle_misses <= base.l1_misses // 8
+
+    def test_normalization(self):
+        trace = dense_trace()
+        results = measure_opportunity(trace, config=tiny_config(), sizes=[64, 2048])
+        normalized = normalized_miss_rates(results)
+        assert normalized[64]["l1_miss_rate"] == pytest.approx(1.0)
+        assert normalized[2048]["l1_opportunity"] < 0.5
+
+    def test_normalization_requires_baseline(self):
+        trace = dense_trace(regions=2)
+        results = measure_opportunity(trace, config=tiny_config(), sizes=[128])
+        with pytest.raises(ValueError):
+            normalized_miss_rates(results)
+
+    def test_instructions_recorded(self):
+        trace = dense_trace(regions=2)
+        results = measure_opportunity(trace, config=tiny_config(), sizes=[64])
+        assert results[64].instructions > 1

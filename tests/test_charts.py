@@ -1,0 +1,76 @@
+"""Tests for repro.analysis.charts (ASCII rendering)."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, line_series, stacked_bar
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        text = bar_chart({"oltp": 0.5, "dss": 1.0}, title="coverage")
+        assert "coverage" in text
+        assert "oltp" in text
+        assert "1.00" in text
+
+    def test_scaling_to_maximum(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_explicit_maximum(self):
+        text = bar_chart({"a": 0.5}, width=10, maximum=1.0)
+        assert text.count("#") == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        text = grouped_bar_chart({"OLTP": {"sms": 0.5, "ghb": 0.2}, "DSS": {"sms": 0.9}})
+        assert "OLTP:" in text
+        assert "DSS:" in text
+        assert "ghb" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})
+
+
+class TestLineSeries:
+    def test_renders_axes_and_legend(self):
+        text = line_series({"AGT": [(256, 0.4), (1024, 0.6)], "LS": [(256, 0.3), (1024, 0.5)]})
+        assert "legend:" in text
+        assert "o=AGT" in text
+        assert "x: 256" in text
+
+    def test_single_point(self):
+        text = line_series({"a": [(1, 1)]})
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_series({})
+        with pytest.raises(ValueError):
+            line_series({"a": []})
+
+
+class TestStackedBar:
+    def test_segments_and_legend(self):
+        text = stacked_bar({"busy": 0.5, "offchip": 0.5}, total_width=20)
+        assert text.startswith("[")
+        assert "busy" in text
+        assert "50%" in text
+
+    def test_zero_total(self):
+        assert stacked_bar({"a": 0.0}) == "(empty)"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bar({})

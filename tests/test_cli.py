@@ -1,0 +1,98 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_CHOICES, PREFETCHER_CHOICES, build_parser, main
+from repro.trace.reader import read_trace
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--workload", "oltp-db2"])
+        assert args.prefetcher == "sms"
+        assert args.cpus == 4
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--workload", "spec2017"])
+
+    def test_unknown_prefetcher_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workload", "oltp-db2", "--prefetcher", "magic"]
+            )
+
+    def test_every_experiment_choice_listed(self):
+        assert "fig11" in EXPERIMENT_CHOICES
+        assert "tab01" in EXPERIMENT_CHOICES
+
+    def test_prefetcher_choices_instantiate(self):
+        for name, factory in PREFETCHER_CHOICES.items():
+            prefetcher = factory()(0)
+            assert prefetcher is not None
+
+
+class TestSimulateCommand:
+    def test_simulate_prints_coverage(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--workload", "web-apache",
+                "--prefetcher", "sms",
+                "--cpus", "2",
+                "--accesses-per-cpu", "2500",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "coverage" in output
+        assert "estimated speedup" in output
+
+    def test_simulate_with_null_prefetcher(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--workload", "ocean",
+                "--prefetcher", "none",
+                "--cpus", "2",
+                "--accesses-per-cpu", "1500",
+            ]
+        )
+        assert exit_code == 0
+        assert "L1 coverage" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        output = tmp_path / "trace.txt"
+        exit_code = main(
+            [
+                "trace",
+                "--workload", "sparse",
+                "--output", str(output),
+                "--cpus", "2",
+                "--accesses-per-cpu", "500",
+            ]
+        )
+        assert exit_code == 0
+        trace = read_trace(output)
+        assert len(trace) == 1000
+        assert "wrote 1000 accesses" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_tab01(self, capsys):
+        exit_code = main(["experiment", "--figure", "tab01"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "system parameters" in output
+        assert "application suite" in output
+
+    def test_small_figure_run(self, capsys):
+        exit_code = main(["experiment", "--figure", "fig10", "--scale", "0.08", "--cpus", "2"])
+        assert exit_code == 0
+        assert "region_size" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Tests for repro.experiments.common and the table-1 runner."""
+
+import pytest
+
+from repro.core import SpatialMemoryStreaming
+from repro.experiments import common
+from repro.experiments import tab01_config
+from repro.prefetch import GlobalHistoryBuffer, NullPrefetcher, StridePrefetcher
+from repro.workloads.suite import APPLICATION_NAMES
+
+
+class TestTraceBuilding:
+    def test_scaled_trace_length(self):
+        trace, metadata = common.build_trace("ocean", num_cpus=2, scale=0.1)
+        assert metadata.name == "ocean"
+        assert len(trace) == 2 * int(common.ACCESSES_PER_CPU["ocean"] * 0.1)
+
+    def test_minimum_length_enforced(self):
+        trace, _ = common.build_trace("ocean", num_cpus=1, scale=0.0001)
+        assert len(trace) == 1000
+
+    def test_caching_returns_equal_traces(self):
+        a, _ = common.build_trace("em3d", num_cpus=2, scale=0.05)
+        b, _ = common.build_trace("em3d", num_cpus=2, scale=0.05)
+        assert a == b
+
+    def test_every_application_has_a_scale(self):
+        assert set(common.ACCESSES_PER_CPU) == set(APPLICATION_NAMES)
+
+    def test_representative_trace(self):
+        trace, metadata = common.representative_trace("OLTP", num_cpus=2, scale=0.05)
+        assert metadata.category == "OLTP"
+        assert trace
+
+    def test_representative_unknown_category(self):
+        with pytest.raises(ValueError):
+            common.representative_trace("HPC")
+
+
+class TestFactories:
+    def test_sms_factory(self):
+        assert isinstance(common.sms_factory()(0), SpatialMemoryStreaming)
+
+    def test_ghb_factory(self):
+        ghb = common.ghb_factory(buffer_entries=512)(0)
+        assert isinstance(ghb, GlobalHistoryBuffer)
+        assert ghb.config.buffer_entries == 512
+
+    def test_stride_factory(self):
+        assert isinstance(common.stride_factory()(0), StridePrefetcher)
+
+    def test_null_factory(self):
+        assert isinstance(common.null_factory()(0), NullPrefetcher)
+
+
+class TestSimulateHelpers:
+    def test_simulate_pair(self):
+        trace, metadata = common.build_trace("oltp-db2", num_cpus=2, scale=0.05)
+        config = common.default_config(num_cpus=2)
+        base, sms = common.simulate_pair(
+            trace, common.sms_factory(), config=config, name="t", metadata=metadata
+        )
+        assert base.accesses == sms.accesses
+        assert base.l1_read_covered == 0
+        assert sms.workload is metadata
+
+    def test_application_names_filtered(self):
+        assert common.application_names(["Web"]) == ["web-apache", "web-zeus"]
+        assert len(common.application_names()) == 11
+
+
+class TestTable1:
+    def test_system_table_matches_paper(self):
+        table = tab01_config.system_table()
+        rows = {row[0]: row[1] for row in table.rows}
+        assert rows["processors"] == 16
+        assert rows["clock (GHz)"] == 4.0
+        assert rows["L1 capacity (kB)"] == 64
+        assert rows["L2 capacity (MB)"] == 8
+        assert rows["L2 hit latency (cycles)"] == 25
+        assert rows["memory latency (ns)"] == 60.0
+        assert rows["interconnect"] == "4x4 2D torus"
+
+    def test_application_table_lists_all_apps(self):
+        table = tab01_config.application_table()
+        assert len(table.rows) == 11
+
+    def test_run_returns_both_tables(self):
+        system, applications = tab01_config.run()
+        assert system.rows and applications.rows

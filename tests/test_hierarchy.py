@@ -1,0 +1,79 @@
+"""Tests for repro.memory.hierarchy."""
+
+import pytest
+
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.hierarchy import CacheHierarchy, MemoryLevel
+
+
+def make_hierarchy():
+    l1 = SetAssociativeCache(capacity_bytes=1024, block_size=64, associativity=2, name="L1")
+    l2 = SetAssociativeCache(capacity_bytes=8192, block_size=64, associativity=4, name="L2")
+    return CacheHierarchy(l1, l2)
+
+
+class TestConstruction:
+    def test_mismatched_block_sizes_rejected(self):
+        l1 = SetAssociativeCache(capacity_bytes=1024, block_size=64, associativity=2)
+        l2 = SetAssociativeCache(capacity_bytes=8192, block_size=128, associativity=4)
+        with pytest.raises(ValueError):
+            CacheHierarchy(l1, l2)
+
+    def test_levels(self):
+        hierarchy = make_hierarchy()
+        assert len(hierarchy.levels) == 2
+        assert hierarchy.block_size == 64
+
+
+class TestAccessPath:
+    def test_cold_access_goes_to_memory(self):
+        hierarchy = make_hierarchy()
+        outcome = hierarchy.access(0x1000)
+        assert outcome.level is MemoryLevel.MEMORY
+        assert outcome.l1_miss
+        assert outcome.l2_miss
+
+    def test_repeat_access_hits_l1(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0x1000)
+        outcome = hierarchy.access(0x1000)
+        assert outcome.level is MemoryLevel.L1
+        assert not outcome.l1_miss
+
+    def test_l1_victim_still_hits_l2(self):
+        hierarchy = make_hierarchy()
+        # Fill set 0 of the tiny L1 (addresses 0, 512, 1024 map to the same set).
+        hierarchy.access(0)
+        hierarchy.access(512)
+        hierarchy.access(1024)  # evicts 0 from L1, but 0 remains in L2
+        outcome = hierarchy.access(0)
+        assert outcome.level is MemoryLevel.L2
+
+    def test_l1_only_hierarchy(self):
+        l1 = SetAssociativeCache(capacity_bytes=1024, block_size=64, associativity=2)
+        hierarchy = CacheHierarchy(l1, None)
+        assert hierarchy.access(0x1000).level is MemoryLevel.MEMORY
+        assert hierarchy.access(0x1000).level is MemoryLevel.L1
+
+
+class TestPrefetchAndInvalidate:
+    def test_prefetch_fill_into_both_levels(self):
+        hierarchy = make_hierarchy()
+        hierarchy.prefetch_fill(0x4000, into_l1=True)
+        assert hierarchy.l1.contains(0x4000)
+        assert hierarchy.l2.contains(0x4000)
+        outcome = hierarchy.access(0x4000)
+        assert outcome.served_by_prefetch
+
+    def test_prefetch_fill_l2_only(self):
+        hierarchy = make_hierarchy()
+        hierarchy.prefetch_fill(0x4000, into_l1=False)
+        assert not hierarchy.l1.contains(0x4000)
+        assert hierarchy.l2.contains(0x4000)
+        assert hierarchy.access(0x4000).level is MemoryLevel.L2
+
+    def test_invalidate_all_levels(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0x4000)
+        hierarchy.invalidate(0x4000)
+        assert not hierarchy.contains(0x4000)

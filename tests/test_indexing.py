@@ -1,0 +1,90 @@
+"""Tests for repro.core.indexing (prediction index schemes)."""
+
+import pytest
+
+from repro.core.indexing import (
+    AddressIndex,
+    PCAddressIndex,
+    PCIndex,
+    PCOffsetIndex,
+    TriggerInfo,
+    make_index_scheme,
+)
+from repro.core.region import RegionGeometry
+
+
+def trigger(pc=0x400, address=0x1000 + 5 * 64 + 8, geometry=None):
+    geometry = geometry or RegionGeometry()
+    region, offset = geometry.split(address)
+    return TriggerInfo(pc=pc, address=address, region=region, offset=offset)
+
+
+class TestSchemes:
+    def test_address_index_uses_block_address(self, geometry):
+        scheme = AddressIndex(geometry)
+        key = scheme.key(trigger(address=0x1000 + 5 * 64 + 8))
+        assert key == ("addr", 0x1000 + 5 * 64)
+
+    def test_address_index_ignores_pc(self, geometry):
+        scheme = AddressIndex(geometry)
+        assert scheme.key(trigger(pc=0x400)) == scheme.key(trigger(pc=0x800))
+
+    def test_pc_index(self, geometry):
+        scheme = PCIndex(geometry)
+        assert scheme.key(trigger(pc=0x400)) == ("pc", 0x400)
+        assert scheme.key(trigger(address=0x1000)) == scheme.key(trigger(address=0x9000))
+
+    def test_pc_address_index_distinguishes_both(self, geometry):
+        scheme = PCAddressIndex(geometry)
+        assert scheme.key(trigger(pc=0x400)) != scheme.key(trigger(pc=0x404))
+        assert scheme.key(trigger(address=0x1000)) != scheme.key(trigger(address=0x9000))
+
+    def test_pc_offset_index(self, geometry):
+        scheme = PCOffsetIndex(geometry)
+        key = scheme.key(trigger(pc=0x400, address=0x1000 + 5 * 64))
+        assert key == ("pc+off", 0x400, 5)
+
+    def test_pc_offset_same_for_different_regions_same_alignment(self, geometry):
+        scheme = PCOffsetIndex(geometry)
+        a = scheme.key(trigger(address=0x1000 + 5 * 64))
+        b = scheme.key(trigger(address=0x8000 + 5 * 64))
+        assert a == b
+
+    def test_key_for_convenience(self, geometry):
+        scheme = PCOffsetIndex(geometry)
+        assert scheme.key_for(0x400, 0x1000 + 5 * 64) == ("pc+off", 0x400, 5)
+
+
+class TestCapabilities:
+    def test_address_schemes_cannot_predict_unvisited(self, geometry):
+        assert not AddressIndex(geometry).can_predict_unvisited_data()
+        assert not PCAddressIndex(geometry).can_predict_unvisited_data()
+
+    def test_pc_schemes_predict_unvisited(self, geometry):
+        assert PCIndex(geometry).can_predict_unvisited_data()
+        assert PCOffsetIndex(geometry).can_predict_unvisited_data()
+
+    def test_storage_scaling(self, geometry):
+        assert AddressIndex(geometry).storage_scales_with_data()
+        assert not PCOffsetIndex(geometry).storage_scales_with_data()
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("address", AddressIndex),
+            ("addr", AddressIndex),
+            ("pc", PCIndex),
+            ("pc+address", PCAddressIndex),
+            ("PC+Addr", PCAddressIndex),
+            ("pc+offset", PCOffsetIndex),
+            ("pc+off", PCOffsetIndex),
+        ],
+    )
+    def test_names(self, name, cls, geometry):
+        assert isinstance(make_index_scheme(name, geometry), cls)
+
+    def test_unknown(self, geometry):
+        with pytest.raises(ValueError):
+            make_index_scheme("dc", geometry)

@@ -1,0 +1,67 @@
+"""Tests for repro.memory.mshr."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestMSHRFile:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_allocate_and_release(self):
+        mshrs = MSHRFile(4)
+        entry = mshrs.allocate(0x1000)
+        assert entry is not None
+        assert mshrs.occupancy == 1
+        assert mshrs.outstanding(0x1000)
+        mshrs.release(0x1000)
+        assert mshrs.occupancy == 0
+
+    def test_merge_secondary_miss(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000)
+        entry = mshrs.allocate(0x1000)
+        assert entry.merged_requests == 1
+        assert mshrs.occupancy == 1
+        assert mshrs.merges == 1
+
+    def test_full_rejects_new_blocks(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.allocate(0x0) is not None
+        assert mshrs.allocate(0x40) is not None
+        assert mshrs.allocate(0x80) is None
+        assert mshrs.rejections == 1
+
+    def test_full_still_merges_existing(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(0x0)
+        assert mshrs.allocate(0x0) is not None
+
+    def test_peak_occupancy(self):
+        mshrs = MSHRFile(8)
+        for i in range(5):
+            mshrs.allocate(i * 64)
+        mshrs.release(0)
+        assert mshrs.peak_occupancy == 5
+
+    def test_occupancy_sampling(self):
+        mshrs = MSHRFile(8)
+        mshrs.allocate(0)
+        mshrs.sample_occupancy()
+        mshrs.allocate(64)
+        mshrs.sample_occupancy()
+        assert mshrs.mean_occupancy == pytest.approx(1.5)
+
+    def test_mean_occupancy_without_samples(self):
+        assert MSHRFile(4).mean_occupancy == 0.0
+
+    def test_release_unknown_returns_none(self):
+        assert MSHRFile(4).release(0x1234) is None
+
+    def test_clear(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0)
+        mshrs.clear()
+        assert mshrs.occupancy == 0

@@ -1,0 +1,82 @@
+"""Tests for repro.prefetch.oracle."""
+
+from repro.coherence.multiprocessor import AccessOutcomeRecord
+from repro.core.region import RegionGeometry
+from repro.memory.cache import AccessOutcome, AccessResult
+from repro.memory.hierarchy import MemoryLevel
+from repro.prefetch.oracle import OracleSpatialPredictor, precompute_generation_footprints
+from repro.trace.record import MemoryAccess
+
+REGION_A = 0x100000
+REGION_B = 0x200000
+
+
+def trace_two_generations():
+    """CPU 0 accesses blocks {0, 2, 5} of region A, then {1, 3} of region B."""
+    return [
+        MemoryAccess(pc=0x400, address=REGION_A + 0 * 64),
+        MemoryAccess(pc=0x404, address=REGION_A + 2 * 64),
+        MemoryAccess(pc=0x408, address=REGION_A + 5 * 64),
+        MemoryAccess(pc=0x400, address=REGION_B + 1 * 64),
+        MemoryAccess(pc=0x404, address=REGION_B + 3 * 64),
+    ]
+
+
+class TestPrecompute:
+    def test_footprints_discovered(self):
+        footprints = precompute_generation_footprints(
+            trace_two_generations(), RegionGeometry(), num_cpus=1
+        )
+        assert (0, 0) in footprints  # region A's trigger was ordinal 0
+        assert (0, 3) in footprints  # region B's trigger was ordinal 3
+        region_a, pattern_a = footprints[(0, 0)]
+        assert region_a == REGION_A
+        assert pattern_a.offsets() == [0, 2, 5]
+        _, pattern_b = footprints[(0, 3)]
+        assert pattern_b.offsets() == [1, 3]
+
+    def test_per_cpu_ordinals(self):
+        trace = [
+            MemoryAccess(pc=0x400, address=REGION_A, cpu=1),
+            MemoryAccess(pc=0x404, address=REGION_A + 64, cpu=1),
+        ]
+        footprints = precompute_generation_footprints(trace, RegionGeometry(), num_cpus=2)
+        assert (1, 0) in footprints
+
+    def test_single_block_generation_carries_no_opportunity(self):
+        # A generation whose only access is its trigger never leaves the AGT
+        # filter table, so the oracle has nothing to prefetch for it.
+        trace = [MemoryAccess(pc=0x400, address=REGION_A)]
+        footprints = precompute_generation_footprints(trace, RegionGeometry(), num_cpus=1)
+        assert footprints == {}
+
+
+class TestOraclePrefetcher:
+    def _outcome(self, record):
+        result = AccessResult(outcome=AccessOutcome.MISS, block_addr=record.address & ~63)
+        return AccessOutcomeRecord(record=record, level=MemoryLevel.MEMORY, l1_result=result)
+
+    def test_replays_footprint_at_trigger(self):
+        trace = trace_two_generations()
+        footprints = precompute_generation_footprints(trace, RegionGeometry(), num_cpus=1)
+        oracle = OracleSpatialPredictor(footprints, cpu=0)
+        response = oracle.on_access(trace[0], self._outcome(trace[0]))
+        addresses = sorted(request.address for request in response.prefetches)
+        # The trigger block itself is excluded from the stream.
+        assert addresses == [REGION_A + 2 * 64, REGION_A + 5 * 64]
+
+    def test_non_trigger_accesses_prefetch_nothing(self):
+        trace = trace_two_generations()
+        footprints = precompute_generation_footprints(trace, RegionGeometry(), num_cpus=1)
+        oracle = OracleSpatialPredictor(footprints, cpu=0)
+        oracle.on_access(trace[0], self._outcome(trace[0]))
+        response = oracle.on_access(trace[1], self._outcome(trace[1]))
+        assert not response.prefetches
+
+    def test_second_generation_replayed(self):
+        trace = trace_two_generations()
+        footprints = precompute_generation_footprints(trace, RegionGeometry(), num_cpus=1)
+        oracle = OracleSpatialPredictor(footprints, cpu=0)
+        responses = [oracle.on_access(record, self._outcome(record)) for record in trace]
+        addresses = [request.address for request in responses[3].prefetches]
+        assert addresses == [REGION_B + 3 * 64]

@@ -1,0 +1,141 @@
+"""Tests for repro.core.pht (Pattern History Table)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pattern import SpatialPattern
+from repro.core.pht import PatternHistoryTable, stable_hash
+
+
+def pattern(*offsets, width=32):
+    return SpatialPattern.from_offsets(width, offsets)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        key = ("pc+off", 0x400, 5)
+        assert stable_hash(key) == stable_hash(("pc+off", 0x400, 5))
+
+    def test_distinguishes_keys(self):
+        assert stable_hash(("pc", 1)) != stable_hash(("pc", 2))
+
+    def test_non_tuple_keys(self):
+        assert isinstance(stable_hash(42), int)
+
+
+class TestConstruction:
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(num_blocks=32, num_entries=0)
+
+    def test_entries_must_be_multiple_of_associativity(self):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(num_blocks=32, num_entries=100, associativity=16)
+
+    def test_invalid_merge(self):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(num_blocks=32, merge="max")
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(num_blocks=0)
+
+
+class TestBoundedTable:
+    def test_store_and_lookup(self):
+        pht = PatternHistoryTable(num_blocks=32, num_entries=64, associativity=4)
+        pht.store(("pc+off", 1, 0), pattern(0, 5))
+        assert pht.lookup(("pc+off", 1, 0)) == pattern(0, 5)
+        assert pht.lookup(("pc+off", 2, 0)) is None
+
+    def test_store_replaces_existing(self):
+        pht = PatternHistoryTable(num_blocks=32, num_entries=64, associativity=4)
+        key = ("pc+off", 1, 0)
+        pht.store(key, pattern(0))
+        pht.store(key, pattern(1, 2))
+        assert pht.lookup(key) == pattern(1, 2)
+
+    def test_union_merge(self):
+        pht = PatternHistoryTable(num_blocks=32, num_entries=64, associativity=4, merge="union")
+        key = ("pc+off", 1, 0)
+        pht.store(key, pattern(0))
+        pht.store(key, pattern(3))
+        assert pht.lookup(key) == pattern(0, 3)
+
+    def test_wrong_width_rejected(self):
+        pht = PatternHistoryTable(num_blocks=32)
+        with pytest.raises(ValueError):
+            pht.store("k", pattern(0, width=16))
+
+    def test_set_capacity_respected(self):
+        pht = PatternHistoryTable(num_blocks=32, num_entries=8, associativity=2)
+        # Insert many keys; no set may hold more than 2 entries.
+        for i in range(50):
+            pht.store(("pc", i), pattern(i % 32))
+        assert pht.occupancy <= 8
+        assert pht.replacements > 0
+
+    def test_lru_within_set(self):
+        # A single-set table makes the LRU order easy to check.
+        pht = PatternHistoryTable(num_blocks=32, num_entries=2, associativity=2)
+        pht.store("a", pattern(0))
+        pht.store("b", pattern(1))
+        pht.lookup("a")
+        pht.store("c", pattern(2))  # should evict "b"
+        assert pht.probe("a") is not None
+        assert pht.probe("b") is None
+        assert pht.probe("c") is not None
+
+    def test_invalidate(self):
+        pht = PatternHistoryTable(num_blocks=32)
+        pht.store("k", pattern(0))
+        assert pht.invalidate("k") == pattern(0)
+        assert pht.probe("k") is None
+        assert pht.invalidate("k") is None
+
+    def test_statistics(self):
+        pht = PatternHistoryTable(num_blocks=32)
+        pht.store("k", pattern(0))
+        pht.lookup("k")
+        pht.lookup("missing")
+        assert pht.lookups == 2
+        assert pht.hits == 1
+        assert pht.hit_rate == pytest.approx(0.5)
+        assert pht.stores == 1
+
+
+class TestUnboundedTable:
+    def test_never_replaces(self):
+        pht = PatternHistoryTable(num_blocks=32, num_entries=None)
+        for i in range(1000):
+            pht.store(("pc", i), pattern(i % 32))
+        assert pht.occupancy == 1000
+        assert pht.replacements == 0
+        assert pht.is_unbounded
+
+    def test_lookup(self):
+        pht = PatternHistoryTable(num_blocks=32, num_entries=None)
+        pht.store("k", pattern(7))
+        assert pht.lookup("k") == pattern(7)
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200),
+    )
+    def test_occupancy_bounded(self, keys):
+        pht = PatternHistoryTable(num_blocks=32, num_entries=32, associativity=4)
+        for key in keys:
+            pht.store(("pc", key), pattern(key % 32))
+        assert pht.occupancy <= 32
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=100),
+    )
+    def test_most_recent_store_always_found(self, keys):
+        pht = PatternHistoryTable(num_blocks=32, num_entries=64, associativity=4)
+        for key in keys:
+            pht.store(("pc", key), pattern(key % 32))
+            assert pht.probe(("pc", key)) is not None

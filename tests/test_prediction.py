@@ -1,0 +1,105 @@
+"""Tests for repro.core.prediction (prediction registers and streaming)."""
+
+import pytest
+
+from repro.core.pattern import SpatialPattern
+from repro.core.prediction import PredictionRegister, PredictionRegisterFile
+from repro.core.region import RegionGeometry
+
+
+@pytest.fixture
+def file_(geometry):
+    return PredictionRegisterFile(geometry, num_registers=4)
+
+
+def pattern(*offsets):
+    return SpatialPattern.from_offsets(32, offsets)
+
+
+class TestPredictionRegister:
+    def test_requests_in_offset_order(self, geometry):
+        register = PredictionRegister(geometry, region=0x10000, pattern=pattern(3, 1, 7))
+        offsets = []
+        while not register.exhausted:
+            offsets.append(register.next_request().offset)
+        assert offsets == [1, 3, 7]
+
+    def test_request_addresses(self, geometry):
+        register = PredictionRegister(geometry, region=0x10000, pattern=pattern(2))
+        request = register.next_request()
+        assert request.address == 0x10000 + 2 * 64
+        assert request.region == 0x10000
+
+    def test_exhausted_returns_none(self, geometry):
+        register = PredictionRegister(geometry, region=0x10000, pattern=pattern())
+        assert register.exhausted
+        assert register.next_request() is None
+
+    def test_wrong_pattern_width_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            PredictionRegister(geometry, region=0, pattern=SpatialPattern.empty(8))
+
+
+class TestPredictionRegisterFile:
+    def test_invalid_register_count(self, geometry):
+        with pytest.raises(ValueError):
+            PredictionRegisterFile(geometry, num_registers=0)
+
+    def test_allocate_and_drain(self, file_):
+        assert file_.allocate(0x10000, pattern(1, 2, 3))
+        requests = file_.drain()
+        assert len(requests) == 3
+        assert file_.active_registers == 0
+
+    def test_exclude_trigger_offset(self, file_):
+        file_.allocate(0x10000, pattern(0, 1, 2), exclude_offset=1)
+        offsets = {request.offset for request in file_.drain()}
+        assert offsets == {0, 2}
+
+    def test_empty_pattern_after_exclusion_allocates_nothing(self, file_):
+        assert file_.allocate(0x10000, pattern(4), exclude_offset=4)
+        assert file_.active_registers == 0
+
+    def test_capacity_rejection(self, geometry):
+        file_ = PredictionRegisterFile(geometry, num_registers=2)
+        assert file_.allocate(0x10000, pattern(1))
+        assert file_.allocate(0x20000, pattern(1))
+        assert not file_.allocate(0x30000, pattern(1))
+        assert file_.rejections == 1
+
+    def test_round_robin_across_registers(self, file_):
+        file_.allocate(0x10000, pattern(1, 2))
+        file_.allocate(0x20000, pattern(5, 6))
+        requests = file_.drain()
+        regions = [request.region for request in requests]
+        # Requests must alternate between the two active regions.
+        assert regions[0] != regions[1]
+        assert len(requests) == 4
+
+    def test_drain_with_limit(self, file_):
+        file_.allocate(0x10000, pattern(1, 2, 3, 4))
+        first = file_.drain(max_requests=2)
+        assert len(first) == 2
+        assert file_.active_registers == 1
+        second = file_.drain()
+        assert len(second) == 2
+
+    def test_cancel_region(self, file_, geometry):
+        file_.allocate(0x10000, pattern(1, 2))
+        file_.allocate(0x20000, pattern(3))
+        cancelled = file_.cancel_region(0x10000 + 500)
+        assert cancelled == 1
+        requests = file_.drain()
+        assert all(request.region == 0x20000 for request in requests)
+
+    def test_clear(self, file_):
+        file_.allocate(0x10000, pattern(1))
+        file_.clear()
+        assert file_.active_registers == 0
+        assert file_.drain() == []
+
+    def test_statistics(self, file_):
+        file_.allocate(0x10000, pattern(1, 2))
+        file_.drain()
+        assert file_.allocations == 1
+        assert file_.requests_issued == 2

@@ -1,0 +1,53 @@
+"""Tests for repro.prefetch.base."""
+
+from repro.coherence.multiprocessor import AccessOutcomeRecord
+from repro.memory.cache import AccessOutcome, AccessResult
+from repro.memory.hierarchy import MemoryLevel
+from repro.prefetch.base import NullPrefetcher, PrefetcherResponse, PrefetchRequest
+from repro.trace.record import MemoryAccess
+
+
+def simple_outcome(address=0x1000, miss=True):
+    record = MemoryAccess(pc=0x400, address=address)
+    result = AccessResult(
+        outcome=AccessOutcome.MISS if miss else AccessOutcome.HIT, block_addr=address & ~63
+    )
+    return record, AccessOutcomeRecord(record=record, level=MemoryLevel.MEMORY, l1_result=result)
+
+
+class TestPrefetchRequest:
+    def test_default_targets_l1(self):
+        request = PrefetchRequest(address=0x1000)
+        assert request.target_l1
+        assert not request.target_l2_only
+
+    def test_l2_only(self):
+        assert PrefetchRequest(address=0x1000, target_l1=False).target_l2_only
+
+
+class TestPrefetcherResponse:
+    def test_empty(self):
+        assert PrefetcherResponse().is_empty
+
+    def test_merge(self):
+        a = PrefetcherResponse(prefetches=[PrefetchRequest(0x1000)])
+        b = PrefetcherResponse(forced_evictions=[0x2000])
+        merged = a.merge(b)
+        assert len(merged.prefetches) == 1
+        assert merged.forced_evictions == [0x2000]
+        assert not merged.is_empty
+
+
+class TestNullPrefetcher:
+    def test_never_prefetches(self):
+        prefetcher = NullPrefetcher()
+        record, outcome = simple_outcome()
+        assert prefetcher.on_access(record, outcome).is_empty
+        assert prefetcher.on_eviction(0x1000, invalidated=True).is_empty
+        assert prefetcher.finalize().is_empty
+
+    def test_reset_stats(self):
+        prefetcher = NullPrefetcher()
+        prefetcher.stats.issued = 5
+        prefetcher.reset_stats()
+        assert prefetcher.stats.issued == 0

@@ -1,0 +1,70 @@
+"""Tests for repro.memory.replacement."""
+
+import pytest
+
+from repro.memory.replacement import LRUPolicy, RandomPolicy, make_policy
+
+
+class TestLRUPolicy:
+    def test_prefers_invalid_ways(self):
+        policy = LRUPolicy()
+        policy.on_fill(0)
+        assert policy.victim([0], [1, 2]) == 1
+
+    def test_evicts_least_recently_used(self):
+        policy = LRUPolicy()
+        for way in (0, 1, 2):
+            policy.on_fill(way)
+        policy.on_access(0)
+        assert policy.victim([0, 1, 2], []) == 1
+
+    def test_access_updates_recency(self):
+        policy = LRUPolicy()
+        policy.on_fill(0)
+        policy.on_fill(1)
+        policy.on_access(0)
+        assert policy.victim([0, 1], []) == 1
+
+    def test_invalidate_clears_state(self):
+        policy = LRUPolicy()
+        policy.on_fill(0)
+        policy.on_fill(1)
+        policy.on_invalidate(1)
+        # Way 1 has no recorded use, so it is treated as oldest.
+        assert policy.victim([0, 1], []) == 1
+
+    def test_victim_with_no_ways_raises(self):
+        with pytest.raises(ValueError):
+            LRUPolicy().victim([], [])
+
+
+class TestRandomPolicy:
+    def test_prefers_invalid_ways(self):
+        policy = RandomPolicy(seed=1)
+        assert policy.victim([0, 1], [3]) == 3
+
+    def test_deterministic_for_seed(self):
+        a = RandomPolicy(seed=42)
+        b = RandomPolicy(seed=42)
+        ways = list(range(8))
+        assert [a.victim(ways, []) for _ in range(10)] == [b.victim(ways, []) for _ in range(10)]
+
+    def test_victim_from_valid_ways(self):
+        policy = RandomPolicy(seed=0)
+        assert policy.victim([4, 5, 6], []) in (4, 5, 6)
+
+    def test_victim_with_no_ways_raises(self):
+        with pytest.raises(ValueError):
+            RandomPolicy(seed=0).victim([], [])
+
+
+class TestFactory:
+    def test_lru(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+
+    def test_random(self):
+        assert isinstance(make_policy("RANDOM"), RandomPolicy)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("plru")

@@ -1,0 +1,85 @@
+"""Tests for repro.experiments.report (Markdown report generation)."""
+
+from repro.analysis.reporting import ResultTable
+from repro.experiments.report import (
+    ClaimComparison,
+    ExperimentReport,
+    ExperimentSection,
+    table_to_markdown,
+)
+
+
+def _table():
+    table = ResultTable(title="coverage", headers=["app", "coverage"])
+    table.add_row("oltp", 0.52)
+    table.add_row("sparse", 0.96)
+    return table
+
+
+class TestTableToMarkdown:
+    def test_structure(self):
+        text = table_to_markdown(_table(), caption="Coverage")
+        lines = text.splitlines()
+        assert lines[0] == "**Coverage**"
+        assert lines[2].startswith("| app |")
+        assert "| --- |" in lines[3]
+        assert "| sparse | 0.960 |" in lines
+
+    def test_without_caption(self):
+        text = table_to_markdown(_table())
+        assert text.startswith("| app |")
+
+
+class TestExperimentSection:
+    def test_claims_and_tables_rendered(self):
+        section = ExperimentSection(identifier="fig11", title="SMS vs GHB", summary="Off-chip coverage.")
+        section.add_claim("SMS beats GHB on OLTP", "55% vs 20%", "52% vs 1%", True)
+        section.add_claim("GHB matches SMS on DSS", "~equal", "0.87 vs 0.92", True, note="close")
+        section.add_table(_table())
+        text = section.to_markdown()
+        assert text.startswith("## fig11: SMS vs GHB")
+        assert "reproduced" in text
+        assert "coverage" in text
+        assert section.reproduced_count == 2
+
+    def test_deviating_claim_marked(self):
+        section = ExperimentSection(identifier="fig6", title="Indexing")
+        section.add_claim("Address ~ PC+offset on OLTP", "similar", "0.18 vs 0.53", False)
+        assert "deviates" in section.to_markdown()
+        assert section.reproduced_count == 0
+
+
+class TestExperimentReport:
+    def _report(self):
+        report = ExperimentReport(title="Reproduction", preamble="Paper vs measured.")
+        section = ExperimentSection(identifier="fig12", title="Speedup")
+        section.add_claim("geomean > 1", "1.37", "1.52", True)
+        report.add_section(section)
+        return report
+
+    def test_markdown_contains_summary_and_sections(self):
+        text = self._report().to_markdown()
+        assert text.startswith("# Reproduction")
+        assert "**Summary**" in text
+        assert "## fig12: Speedup" in text
+
+    def test_claim_counting(self):
+        report = self._report()
+        assert report.total_claims == 1
+        assert report.reproduced_claims == 1
+
+    def test_section_lookup(self):
+        report = self._report()
+        assert report.section("fig12") is not None
+        assert report.section("fig99") is None
+
+    def test_write(self, tmp_path):
+        path = self._report().write(tmp_path / "EXPERIMENTS.md")
+        assert path.exists()
+        assert "# Reproduction" in path.read_text()
+
+
+class TestClaimComparison:
+    def test_as_row(self):
+        claim = ClaimComparison("c", "1", "2", False, note="n")
+        assert claim.as_row() == ["c", "1", "2", "deviates", "n"]

@@ -1,0 +1,52 @@
+"""Tests for repro.simulation.config."""
+
+import pytest
+
+from repro.simulation.config import MachineConfig, SimulationConfig
+
+
+class TestMachineConfig:
+    def test_paper_defaults(self):
+        machine = MachineConfig.paper_default()
+        assert machine.clock_ghz == 4.0
+        assert machine.l2_hit_cycles == 25
+        assert machine.memory_latency_ns == 60.0
+        assert machine.torus.num_nodes == 16
+
+    def test_cycle_conversion(self):
+        machine = MachineConfig()
+        assert machine.cycle_ns == pytest.approx(0.25)
+        assert machine.memory_latency_cycles == pytest.approx(240.0)
+
+    def test_off_chip_latency_includes_network(self):
+        machine = MachineConfig()
+        assert machine.off_chip_latency_cycles > machine.memory_latency_cycles
+        assert machine.remote_network_cycles > 0
+
+
+class TestSimulationConfig:
+    def test_paper_default(self):
+        config = SimulationConfig.paper_default()
+        assert config.num_cpus == 16
+        assert config.l1_capacity == 64 * 1024
+        assert config.l2_capacity == 8 * 1024 * 1024
+        assert config.block_size == 64
+
+    def test_small_keeps_l1_geometry(self):
+        config = SimulationConfig.small(num_cpus=4)
+        assert config.num_cpus == 4
+        assert config.l1_capacity == 64 * 1024
+        assert config.l2_capacity < 8 * 1024 * 1024
+
+    def test_with_block_size(self):
+        config = SimulationConfig.paper_default().with_block_size(512)
+        assert config.block_size == 512
+        assert config.l1_capacity == SimulationConfig.paper_default().l1_capacity
+
+    def test_invalid_cpus(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_cpus=0)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(warmup_fraction=1.0)

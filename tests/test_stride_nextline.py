@@ -1,0 +1,76 @@
+"""Tests for the stride and next-line baseline prefetchers."""
+
+import pytest
+
+from repro.coherence.multiprocessor import AccessOutcomeRecord
+from repro.memory.cache import AccessOutcome, AccessResult
+from repro.memory.hierarchy import MemoryLevel
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.trace.record import MemoryAccess
+
+
+def access(pc, address, miss=True):
+    record = MemoryAccess(pc=pc, address=address)
+    result = AccessResult(
+        outcome=AccessOutcome.MISS if miss else AccessOutcome.HIT, block_addr=address & ~63
+    )
+    level = MemoryLevel.MEMORY if miss else MemoryLevel.L1
+    return record, AccessOutcomeRecord(record=record, level=level, l1_result=result)
+
+
+class TestStridePrefetcher:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(table_entries=0)
+        with pytest.raises(ValueError):
+            StridePrefetcher(degree=0)
+
+    def test_constant_stride_learned(self):
+        prefetcher = StridePrefetcher(degree=2)
+        response = None
+        for i in range(5):
+            response = prefetcher.on_access(*access(0x400, i * 256))
+        assert response.prefetches
+        addresses = [request.address for request in response.prefetches]
+        assert addresses[0] == (4 * 256 + 256) & ~63
+
+    def test_irregular_stream_not_predicted(self):
+        prefetcher = StridePrefetcher()
+        for address in (0, 3000, 128, 9000, 40, 7777):
+            response = prefetcher.on_access(*access(0x400, address))
+        assert not response.prefetches
+
+    def test_zero_stride_ignored(self):
+        prefetcher = StridePrefetcher()
+        for _ in range(6):
+            response = prefetcher.on_access(*access(0x400, 0x1000))
+        assert not response.prefetches
+
+    def test_table_bounded(self):
+        prefetcher = StridePrefetcher(table_entries=4)
+        for pc in range(20):
+            prefetcher.on_access(*access(0x400 + 4 * pc, pc * 1024))
+        assert len(prefetcher._table) <= 4
+
+
+class TestNextLinePrefetcher:
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+    def test_prefetches_next_blocks_on_miss(self):
+        prefetcher = NextLinePrefetcher(degree=2)
+        response = prefetcher.on_access(*access(0x400, 0x1000))
+        addresses = [request.address for request in response.prefetches]
+        assert addresses == [0x1040, 0x1080]
+
+    def test_no_prefetch_on_hit_by_default(self):
+        prefetcher = NextLinePrefetcher()
+        response = prefetcher.on_access(*access(0x400, 0x1000, miss=False))
+        assert not response.prefetches
+
+    def test_prefetch_on_every_access_option(self):
+        prefetcher = NextLinePrefetcher(on_miss_only=False)
+        response = prefetcher.on_access(*access(0x400, 0x1000, miss=False))
+        assert response.prefetches

@@ -1,0 +1,61 @@
+"""Tests for repro.trace.reader (trace file I/O)."""
+
+import pytest
+
+from repro.trace.reader import read_trace, write_trace
+from repro.trace.record import AccessType, ExecutionMode, MemoryAccess
+
+
+def _sample_records():
+    return [
+        MemoryAccess(pc=0x400, address=0x1000, access_type=AccessType.READ, cpu=0,
+                     mode=ExecutionMode.USER, instruction_count=3),
+        MemoryAccess(pc=0x404, address=0x1040, access_type=AccessType.WRITE, cpu=1,
+                     mode=ExecutionMode.SYSTEM, instruction_count=9),
+        MemoryAccess(pc=0x7fff0000, address=0xdeadbe00, access_type=AccessType.READ, cpu=15,
+                     mode=ExecutionMode.USER, instruction_count=12345),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_returns_count(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        assert write_trace(path, _sample_records()) == 3
+
+    def test_roundtrip_preserves_fields(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        records = _sample_records()
+        write_trace(path, records)
+        loaded = read_trace(path)
+        assert len(loaded) == len(records)
+        for original, read_back in zip(records, loaded):
+            assert read_back.pc == original.pc
+            assert read_back.address == original.address
+            assert read_back.access_type is original.access_type
+            assert read_back.cpu == original.cpu
+            assert read_back.mode is original.mode
+            assert read_back.instruction_count == original.instruction_count
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mytrace.txt"
+        write_trace(path, _sample_records())
+        assert read_trace(path).name == "mytrace"
+
+
+class TestParsing:
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# comment\n\n0 U R 400 1000 5\n")
+        assert len(read_trace(path)) == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0 U R 400\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_unknown_code_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0 U X 400 1000 5\n")
+        with pytest.raises(ValueError):
+            read_trace(path)

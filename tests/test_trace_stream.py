@@ -1,0 +1,114 @@
+"""Tests for repro.trace.stream."""
+
+import pytest
+
+from repro.trace.record import MemoryAccess
+from repro.trace.stream import (
+    GeneratedTrace,
+    InterleavedTrace,
+    MaterializedTrace,
+    concatenate,
+)
+
+
+def _records(count, cpu=0, base=0):
+    return [MemoryAccess(pc=0x400 + 4 * i, address=base + 64 * i, cpu=cpu) for i in range(count)]
+
+
+class TestMaterializedTrace:
+    def test_len_and_iteration(self):
+        trace = MaterializedTrace(_records(5))
+        assert len(trace) == 5
+        assert len(list(trace)) == 5
+
+    def test_replayable(self):
+        trace = MaterializedTrace(_records(5))
+        assert list(trace) == list(trace)
+
+    def test_indexing(self):
+        records = _records(5)
+        trace = MaterializedTrace(records)
+        assert trace[2] == records[2]
+
+    def test_append_and_extend(self):
+        trace = MaterializedTrace(_records(2))
+        trace.append(MemoryAccess(pc=1, address=1))
+        trace.extend(_records(3, base=4096))
+        assert len(trace) == 6
+
+    def test_take(self):
+        trace = MaterializedTrace(_records(10))
+        assert len(trace.take(4)) == 4
+
+    def test_take_more_than_available(self):
+        trace = MaterializedTrace(_records(3))
+        assert len(trace.take(10)) == 3
+
+    def test_split_warmup(self):
+        trace = MaterializedTrace(_records(10))
+        warm, measure = trace.split_warmup(0.3)
+        assert len(warm) == 3
+        assert len(measure) == 7
+
+    def test_split_warmup_invalid_fraction(self):
+        trace = MaterializedTrace(_records(10))
+        with pytest.raises(ValueError):
+            trace.split_warmup(1.5)
+
+    def test_materialize_returns_copy(self):
+        trace = MaterializedTrace(_records(4))
+        copy = trace.materialize()
+        assert list(copy) == list(trace)
+
+
+class TestGeneratedTrace:
+    def test_replayable_with_deterministic_factory(self):
+        trace = GeneratedTrace(lambda: _records(6), name="gen")
+        assert list(trace) == list(trace)
+        assert len(list(trace)) == 6
+
+
+class TestInterleavedTrace:
+    def test_requires_streams(self):
+        with pytest.raises(ValueError):
+            InterleavedTrace([])
+
+    def test_preserves_all_records(self):
+        streams = [MaterializedTrace(_records(20, cpu=i, base=i * 1 << 20)) for i in range(3)]
+        interleaved = InterleavedTrace(streams, seed=3)
+        assert len(list(interleaved)) == 60
+
+    def test_reassigns_cpus_by_slot(self):
+        streams = [MaterializedTrace(_records(10, cpu=0, base=i * 1 << 20)) for i in range(3)]
+        interleaved = InterleavedTrace(streams, seed=1)
+        cpus = {record.cpu for record in interleaved}
+        assert cpus == {0, 1, 2}
+
+    def test_deterministic_for_seed(self):
+        streams = [MaterializedTrace(_records(15, cpu=i)) for i in range(2)]
+        a = list(InterleavedTrace(streams, seed=11))
+        b = list(InterleavedTrace(streams, seed=11))
+        assert a == b
+
+    def test_per_stream_order_preserved(self):
+        streams = [MaterializedTrace(_records(25, cpu=i, base=i * 1 << 20)) for i in range(2)]
+        interleaved = InterleavedTrace(streams, seed=5)
+        per_cpu_addresses = {0: [], 1: []}
+        for record in interleaved:
+            per_cpu_addresses[record.cpu].append(record.address)
+        for cpu, addresses in per_cpu_addresses.items():
+            assert addresses == sorted(addresses)
+
+    def test_invalid_burst(self):
+        with pytest.raises(ValueError):
+            InterleavedTrace([MaterializedTrace(_records(1))], mean_burst=0)
+
+
+class TestConcatenate:
+    def test_concatenation_order(self):
+        first = MaterializedTrace(_records(3, base=0))
+        second = MaterializedTrace(_records(2, base=1 << 20))
+        combined = concatenate([first, second])
+        addresses = [record.address for record in combined]
+        assert addresses[:3] == [record.address for record in first]
+        assert len(combined) == 5

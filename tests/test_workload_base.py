@@ -1,0 +1,151 @@
+"""Tests for repro.workloads.base helpers (AddressSpace, FootprintLibrary, framework)."""
+
+import random
+
+import pytest
+
+from repro.trace.record import ExecutionMode
+from repro.workloads.base import (
+    AddressSpace,
+    CpuContext,
+    FootprintLibrary,
+    SyntheticWorkload,
+    WorkloadMetadata,
+)
+
+
+class TestAddressSpace:
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace(base=0x1000_0000, alignment=8192)
+        a = space.allocate("a", 10_000)
+        b = space.allocate("b", 4096)
+        assert b >= a + space.size("a")
+        assert space.contains("a", a)
+        assert not space.contains("a", b)
+
+    def test_alignment(self):
+        space = AddressSpace(alignment=8192)
+        space.allocate("a", 100)
+        b = space.allocate("b", 100)
+        assert b % 8192 == 0
+        assert space.size("a") == 8192
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.allocate("a", 100)
+        with pytest.raises(ValueError):
+            space.allocate("a", 100)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            AddressSpace().allocate("a", 0)
+
+    def test_invalid_alignment(self):
+        with pytest.raises(ValueError):
+            AddressSpace(alignment=100)
+
+    def test_structures_listing(self):
+        space = AddressSpace()
+        space.allocate("x", 1)
+        space.allocate("y", 1)
+        assert space.structures() == ["x", "y"]
+
+
+class TestFootprintLibrary:
+    def test_define_and_offsets(self):
+        library = FootprintLibrary(blocks_per_region=32)
+        library.define("header", [1, 0, 1])
+        assert library.offsets("header") == [0, 1]
+        assert "header" in library.names()
+
+    def test_out_of_range_offsets_rejected(self):
+        library = FootprintLibrary(blocks_per_region=8)
+        with pytest.raises(ValueError):
+            library.define("bad", [8])
+
+    def test_define_dense_clips_to_region(self):
+        library = FootprintLibrary(blocks_per_region=8)
+        library.define_dense("run", start=5, count=10)
+        assert library.offsets("run") == [5, 6, 7]
+
+    def test_sample_without_jitter_is_exact(self):
+        library = FootprintLibrary(blocks_per_region=32)
+        library.define("f", [0, 3, 7])
+        assert library.sample("f", random.Random(0)) == [0, 3, 7]
+
+    def test_sample_drop_jitter(self):
+        library = FootprintLibrary(blocks_per_region=32)
+        library.define("f", list(range(16)))
+        sampled = library.sample("f", random.Random(1), drop_probability=0.5)
+        assert 0 < len(sampled) <= 16
+        assert all(offset in range(16) for offset in sampled)
+
+    def test_sample_add_jitter(self):
+        library = FootprintLibrary(blocks_per_region=32)
+        library.define("f", [0])
+        sampled = library.sample("f", random.Random(2), add_probability=0.5)
+        assert 0 in sampled
+        assert len(sampled) > 1
+
+    def test_sample_never_empty(self):
+        library = FootprintLibrary(blocks_per_region=32)
+        library.define("f", [4])
+        sampled = library.sample("f", random.Random(3), drop_probability=1.0)
+        assert sampled == [4]
+
+
+class _TinyWorkload(SyntheticWorkload):
+    """Minimal workload used to exercise the framework."""
+
+    metadata = WorkloadMetadata(name="tiny", category="Scientific")
+
+    def cpu_stream(self, context):
+        block = 0
+        while True:
+            yield self.make_access(context, pc=0x400, address=0x1000 + block * 64)
+            yield self.make_access(
+                context, pc=0x404, address=0x200000 + block * 64, write=True, system=True
+            )
+            block += 1
+
+
+class TestSyntheticWorkloadFramework:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _TinyWorkload(num_cpus=0)
+        with pytest.raises(ValueError):
+            _TinyWorkload(accesses_per_cpu=0)
+
+    def test_volume_and_modes(self):
+        workload = _TinyWorkload(num_cpus=2, accesses_per_cpu=100, seed=1)
+        records = list(workload)
+        assert len(records) == 200
+        assert any(record.mode is ExecutionMode.SYSTEM for record in records)
+        assert any(record.is_write for record in records)
+
+    def test_instruction_counter_advances(self):
+        workload = _TinyWorkload(num_cpus=1, accesses_per_cpu=50, seed=1)
+        records = list(workload)
+        assert records[-1].instruction_count > records[0].instruction_count
+
+    def test_make_access_explicit_instructions(self):
+        workload = _TinyWorkload(num_cpus=1, accesses_per_cpu=10)
+        context = CpuContext(cpu=0, rng=random.Random(0))
+        record = workload.make_access(context, pc=1, address=2, instructions=7)
+        assert record.instruction_count == 7
+
+    def test_footprint_accesses_loop_pc(self):
+        workload = _TinyWorkload(num_cpus=1, accesses_per_cpu=10)
+        context = CpuContext(cpu=0, rng=random.Random(0))
+        struct_walk = list(
+            workload.footprint_accesses(context, 0x1000, [0, 1, 2], pc_base=0x500)
+        )
+        loop = list(
+            workload.footprint_accesses(context, 0x1000, [0, 1, 2], pc_base=0x600, loop_pc=True)
+        )
+        assert len({record.pc for record in struct_walk}) == 3
+        assert len({record.pc for record in loop}) == 1
+
+    def test_total_accesses_property(self):
+        workload = _TinyWorkload(num_cpus=3, accesses_per_cpu=7)
+        assert workload.total_accesses == 21
