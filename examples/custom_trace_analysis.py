@@ -65,11 +65,12 @@ def main() -> None:
     config = SimulationConfig(num_cpus=1, l1_capacity=32 * 1024, l2_capacity=512 * 1024,
                               warmup_fraction=0.1)
 
-    # Spatial characterisation: density and oracle opportunity.
-    density = measure_density(list(trace), config=config, region_size=2048)
+    # Spatial characterisation: density and oracle opportunity.  Streams are
+    # consumed lazily — no need to materialize them into lists.
+    density = measure_density(trace, config=config, region_size=2048)
     print(f"mean missed-blocks per 2kB generation (L1): {density['L1'].mean_density():.1f}")
 
-    opportunity = measure_opportunity(list(trace), config=config, sizes=[64, 512, 2048])
+    opportunity = measure_opportunity(trace, config=config, sizes=[64, 512, 2048])
     normalized = normalized_miss_rates(opportunity)
     table = ResultTable(
         title="Oracle opportunity (normalized to 64B blocks)",
@@ -86,7 +87,7 @@ def main() -> None:
         prefetcher_factory=lambda cpu: SpatialMemoryStreaming(SMSConfig.paper_practical()),
         name="sms",
     )
-    result = engine.run(list(trace))
+    result = engine.run(trace)
     print(f"\nSMS L1 coverage on the custom trace: {format_percentage(result.l1_coverage())}")
     print(f"SMS overpredictions: {format_percentage(result.l1_overprediction_rate())}")
 

@@ -14,13 +14,14 @@ tracked cache (replacement or invalidation), matching the paper's definition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.coherence.multiprocessor import MultiprocessorMemorySystem
 from repro.core.region import RegionGeometry
 from repro.simulation.config import SimulationConfig
 from repro.trace.record import MemoryAccess
-from repro.trace.stream import TraceStream
+from repro.trace.stream import TraceStream, resolve_warmup_count
 
 #: Figure 5's density bins: (label, inclusive lower bound, inclusive upper bound).
 DENSITY_BINS: List[Tuple[str, int, int]] = [
@@ -151,10 +152,13 @@ def measure_density(
         )
     memory.l2.add_eviction_listener(lambda evicted: l2_tracker.on_removal(0, evicted.block_addr))
 
-    records = trace if isinstance(trace, list) else list(trace)
+    # Stream the trace single-pass; the warmup boundary comes from a length
+    # hint (len / TraceStream.length_hint / total_accesses), never from
+    # materializing the stream.
+    warmup_count = resolve_warmup_count(trace, fraction=warmup_fraction, limit=limit)
+    records = iter(trace)
     if limit is not None:
-        records = records[:limit]
-    warmup_count = int(len(records) * warmup_fraction)
+        records = islice(records, limit)
     for index, record in enumerate(records):
         outcome = memory.access(record)
         if index < warmup_count:

@@ -58,6 +58,13 @@ EXPERIMENT_CHOICES = [
 ]
 
 
+def _nonnegative_int(value: str) -> int:
+    workers = int(value)
+    if workers < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {workers}")
+    return workers
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -83,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--figure", choices=EXPERIMENT_CHOICES, required=True)
     experiment.add_argument("--scale", type=float, default=0.5)
     experiment.add_argument("--cpus", type=int, default=4)
+    experiment.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=None,
+        help="fan the sweep out over N worker processes (default: serial)",
+    )
 
     return parser
 
@@ -92,17 +105,21 @@ def _command_simulate(args: argparse.Namespace) -> int:
     workload = make_workload(
         args.workload, num_cpus=args.cpus, accesses_per_cpu=args.accesses_per_cpu, seed=args.seed
     )
-    trace = list(workload)
     config = SimulationConfig.small(num_cpus=args.cpus)
 
-    baseline = SimulationEngine(config, name="baseline").run(trace)
+    # The workload is a replayable stream: each run regenerates it lazily, so
+    # arbitrarily long traces are simulated without ever materializing them.
+    baseline = SimulationEngine(config, name="baseline").run(workload)
     baseline.workload = workload.metadata
     engine = SimulationEngine(config, PREFETCHER_CHOICES[args.prefetcher](), name=args.prefetcher)
-    result = engine.run(trace)
+    result = engine.run(workload)
     result.workload = workload.metadata
 
     table = ResultTable(
-        title=f"{args.workload} under {args.prefetcher} ({len(trace)} accesses, {args.cpus} CPUs)",
+        title=(
+            f"{args.workload} under {args.prefetcher} "
+            f"({workload.total_accesses} accesses, {args.cpus} CPUs)"
+        ),
         headers=["metric", "value"],
     )
     table.add_row("baseline L1 read misses", baseline.l1_read_misses)
@@ -144,17 +161,25 @@ def _command_experiment(args: argparse.Namespace) -> int:
         tab01_config,
     )
 
+    modules = {
+        "fig04": fig04_block_size,
+        "fig05": fig05_density,
+        "fig06": fig06_indexing,
+        "fig07": fig07_pht_storage,
+        "fig08": fig08_training,
+        "fig09": fig09_training_storage,
+        "fig10": fig10_region_size,
+        "fig11": fig11_ghb,
+        "fig12": fig12_speedup,
+        "fig13": fig13_breakdown,
+    }
     runners = {
-        "fig04": lambda: fig04_block_size.run(scale=args.scale, num_cpus=args.cpus),
-        "fig05": lambda: fig05_density.run(scale=args.scale, num_cpus=args.cpus),
-        "fig06": lambda: fig06_indexing.run(scale=args.scale, num_cpus=args.cpus),
-        "fig07": lambda: fig07_pht_storage.run(scale=args.scale, num_cpus=args.cpus),
-        "fig08": lambda: fig08_training.run(scale=args.scale, num_cpus=args.cpus),
-        "fig09": lambda: fig09_training_storage.run(scale=args.scale, num_cpus=args.cpus),
-        "fig10": lambda: fig10_region_size.run(scale=args.scale, num_cpus=args.cpus),
-        "fig11": lambda: fig11_ghb.run(scale=args.scale, num_cpus=args.cpus),
-        "fig12": lambda: fig12_speedup.run(scale=args.scale, num_cpus=args.cpus),
-        "fig13": lambda: fig13_breakdown.run(scale=args.scale, num_cpus=args.cpus),
+        figure: (
+            lambda module=module: module.run(
+                scale=args.scale, num_cpus=args.cpus, workers=args.workers
+            )
+        )
+        for figure, module in modules.items()
     }
     if args.figure == "tab01":
         system, applications = tab01_config.run()

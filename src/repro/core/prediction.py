@@ -120,12 +120,28 @@ class PredictionRegisterFile:
         return requests
 
     def cancel_region(self, region: int) -> int:
-        """Drop any active register for ``region`` (e.g. on invalidation); return count."""
+        """Drop any active register for ``region`` (e.g. on invalidation); return count.
+
+        The round-robin cursor is only adjusted when a register is actually
+        removed (shifted past removed slots, then clamped), so cancelling an
+        inactive region does not perturb drain fairness.
+        """
         base = self.geometry.region_base(region)
-        before = len(self._registers)
-        self._registers = [r for r in self._registers if r.region != base]
-        self._next_index = 0
-        return before - len(self._registers)
+        kept: List[PredictionRegister] = []
+        removed_before_cursor = 0
+        for index, register in enumerate(self._registers):
+            if register.region == base:
+                if index < self._next_index:
+                    removed_before_cursor += 1
+            else:
+                kept.append(register)
+        removed = len(self._registers) - len(kept)
+        if removed:
+            self._registers = kept
+            self._next_index -= removed_before_cursor
+            if self._next_index >= len(kept):
+                self._next_index = 0
+        return removed
 
     def clear(self) -> None:
         self._registers.clear()

@@ -2,22 +2,24 @@
 
 Centralises trace construction (with per-application scaling chosen so the
 synthetic traces exercise enough of the cache hierarchy to train SMS), the
-prefetcher factories each experiment compares, and in-process trace caching
-so that one benchmark module can run several configurations over the same
-trace without regenerating it.
+prefetcher factories each experiment compares, in-process trace caching so
+that one benchmark module can run several configurations over the same trace
+without regenerating it, and the parallel sweep entry point
+(:func:`sweep_map`) the fig04–fig13 runners fan their per-item work through.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import SMSConfig, SpatialMemoryStreaming
 from repro.prefetch import GHBConfig, GlobalHistoryBuffer, NullPrefetcher, StridePrefetcher
 from repro.prefetch.base import Prefetcher
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import SimulationEngine, SimulationResult
-from repro.trace.stream import MaterializedTrace
+from repro.simulation.sweep import sweep_map
+from repro.trace.record import MemoryAccess
 from repro.workloads import make_workload
 from repro.workloads.base import WorkloadMetadata
 from repro.workloads.suite import APPLICATION_NAMES, CATEGORIES, category_members
@@ -75,15 +77,17 @@ def build_trace(
     num_cpus: int = DEFAULT_NUM_CPUS,
     scale: float = 1.0,
     seed: int = DEFAULT_SEED,
-) -> Tuple[List, WorkloadMetadata]:
+) -> Tuple[Sequence[MemoryAccess], WorkloadMetadata]:
     """Build (and cache) the experiment trace for application ``name``.
 
     ``scale`` multiplies the per-application default trace length; benchmark
     runs use ``scale<1`` to keep wall-clock time down, full runs use 1.0+.
+    The returned record sequence is the cached immutable tuple — do not
+    mutate it; every configuration of a figure streams the same instance.
     """
     accesses = max(1000, int(ACCESSES_PER_CPU[name] * scale))
     records, metadata = _cached_trace(name, num_cpus, accesses, seed)
-    return list(records), metadata
+    return records, metadata
 
 
 def representative_trace(
@@ -91,7 +95,7 @@ def representative_trace(
     num_cpus: int = DEFAULT_NUM_CPUS,
     scale: float = 1.0,
     seed: int = DEFAULT_SEED,
-) -> Tuple[List, WorkloadMetadata]:
+) -> Tuple[Sequence[MemoryAccess], WorkloadMetadata]:
     """Trace of the representative application for ``category``."""
     if category not in CATEGORY_REPRESENTATIVE:
         raise ValueError(f"unknown category {category!r}; choose from {CATEGORIES}")
@@ -126,7 +130,7 @@ def null_factory() -> Callable[[int], Prefetcher]:
 # Simulation helpers
 # --------------------------------------------------------------------------- #
 def simulate(
-    trace: List,
+    trace: Iterable[MemoryAccess],
     prefetcher_factory: Optional[Callable[[int], Prefetcher]] = None,
     config: Optional[SimulationConfig] = None,
     name: str = "",
@@ -145,7 +149,7 @@ def simulate(
 
 
 def simulate_pair(
-    trace: List,
+    trace: Iterable[MemoryAccess],
     prefetcher_factory: Callable[[int], Prefetcher],
     config: Optional[SimulationConfig] = None,
     name: str = "",
@@ -167,3 +171,24 @@ def application_names(categories: Optional[List[str]] = None) -> List[str]:
     for category in categories:
         names.extend(category_members(category))
     return names
+
+
+# --------------------------------------------------------------------------- #
+# Parallel sweeps
+# --------------------------------------------------------------------------- #
+def run_sweep(
+    fn: Callable,
+    items: Iterable,
+    workers: Optional[int] = None,
+    **fixed_kwargs,
+) -> List:
+    """Map ``fn(item, **fixed_kwargs)`` over ``items``, optionally in parallel.
+
+    This is the fan-out point of every figure runner: ``workers=None`` (or
+    ``<=1``) runs serially in-process, larger values spread the per-item work
+    (one application or category per task) over that many worker processes
+    via :class:`~repro.simulation.sweep.SweepRunner`.  ``fn`` must be a
+    module-level callable for parallel runs; each worker rebuilds its own
+    traces, so results are identical to a serial sweep.
+    """
+    return sweep_map(fn, items, workers=workers, **fixed_kwargs)

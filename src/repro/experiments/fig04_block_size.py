@@ -43,6 +43,7 @@ def run(
     sizes: Optional[List[int]] = None,
     scale: float = 1.0,
     num_cpus: int = common.DEFAULT_NUM_CPUS,
+    workers: Optional[int] = None,
 ) -> ResultTable:
     """Regenerate Figure 4's series for the requested categories."""
     categories = categories or list(common.CATEGORY_REPRESENTATIVE)
@@ -59,8 +60,10 @@ def run(
             "l2_false_sharing",
         ],
     )
-    for category in categories:
-        results = run_category(category, sizes=sizes, scale=scale, num_cpus=num_cpus)
+    sweep = common.run_sweep(
+        run_category, categories, workers=workers, sizes=sizes, scale=scale, num_cpus=num_cpus
+    )
+    for category, results in zip(categories, sweep):
         normalized = normalized_miss_rates(results, baseline_size=64)
         for size in sizes:
             row = normalized[size]

@@ -35,6 +35,7 @@ def run(
     region_size: int = 2048,
     scale: float = 1.0,
     num_cpus: int = common.DEFAULT_NUM_CPUS,
+    workers: Optional[int] = None,
 ) -> ResultTable:
     """Regenerate Figure 5's stacked-bar data (fraction of misses per density bin)."""
     applications = applications or common.application_names()
@@ -43,10 +44,15 @@ def run(
         title=f"Figure 5: memory access density ({region_size}B regions)",
         headers=["application", "level", "mean_density", "multi_block_fraction"] + bin_labels,
     )
-    for name in applications:
-        histograms = run_application(
-            name, region_size=region_size, scale=scale, num_cpus=num_cpus
-        )
+    sweep = common.run_sweep(
+        run_application,
+        applications,
+        workers=workers,
+        region_size=region_size,
+        scale=scale,
+        num_cpus=num_cpus,
+    )
+    for name, histograms in zip(applications, sweep):
         for level in ("L1", "L2"):
             histogram = histograms[level]
             fractions = histogram.fractions()

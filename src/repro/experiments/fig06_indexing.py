@@ -54,6 +54,7 @@ def run(
     schemes: Optional[List[str]] = None,
     scale: float = 1.0,
     num_cpus: int = common.DEFAULT_NUM_CPUS,
+    workers: Optional[int] = None,
 ) -> ResultTable:
     """Regenerate Figure 6's bars."""
     categories = categories or list(common.CATEGORY_REPRESENTATIVE)
@@ -62,8 +63,10 @@ def run(
         title="Figure 6: index comparison (unbounded PHT, L1 read misses)",
         headers=["category", "index", "coverage", "uncovered", "overpredictions"],
     )
-    for category in categories:
-        reports = run_category(category, schemes=schemes, scale=scale, num_cpus=num_cpus)
+    sweep = common.run_sweep(
+        run_category, categories, workers=workers, schemes=schemes, scale=scale, num_cpus=num_cpus
+    )
+    for category, reports in zip(categories, sweep):
         for scheme in schemes:
             report = reports[scheme]
             table.add_row(

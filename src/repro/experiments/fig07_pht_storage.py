@@ -66,6 +66,7 @@ def run(
     schemes: Optional[List[str]] = None,
     scale: float = 1.0,
     num_cpus: int = common.DEFAULT_NUM_CPUS,
+    workers: Optional[int] = None,
 ) -> ResultTable:
     """Regenerate Figure 7's curves."""
     categories = categories or list(common.CATEGORY_REPRESENTATIVE)
@@ -75,10 +76,16 @@ def run(
         title="Figure 7: PHT storage sensitivity (PC+address vs PC+offset)",
         headers=["category", "index", "pht_entries", "coverage"],
     )
-    for category in categories:
-        coverage = run_category(
-            category, sizes=sizes, schemes=schemes, scale=scale, num_cpus=num_cpus
-        )
+    sweep = common.run_sweep(
+        run_category,
+        categories,
+        workers=workers,
+        sizes=sizes,
+        schemes=schemes,
+        scale=scale,
+        num_cpus=num_cpus,
+    )
+    for category, coverage in zip(categories, sweep):
         for scheme in schemes:
             for size in sizes:
                 table.add_row(category, scheme, _size_label(size), coverage[(scheme, size)])

@@ -64,6 +64,7 @@ def run(
     trainers: Optional[List[str]] = None,
     scale: float = 1.0,
     num_cpus: int = common.DEFAULT_NUM_CPUS,
+    workers: Optional[int] = None,
 ) -> ResultTable:
     """Regenerate Figure 8's bars."""
     categories = categories or list(common.CATEGORY_REPRESENTATIVE)
@@ -72,8 +73,10 @@ def run(
         title="Figure 8: training structure comparison (unbounded PHT, L1 read misses)",
         headers=["category", "trainer", "coverage", "uncovered", "overpredictions"],
     )
-    for category in categories:
-        reports = run_category(category, trainers=trainers, scale=scale, num_cpus=num_cpus)
+    sweep = common.run_sweep(
+        run_category, categories, workers=workers, trainers=trainers, scale=scale, num_cpus=num_cpus
+    )
+    for category, reports in zip(categories, sweep):
         for trainer in trainers:
             report = reports[trainer]
             table.add_row(

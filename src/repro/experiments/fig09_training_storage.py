@@ -70,6 +70,7 @@ def run(
     trainers: Optional[List[str]] = None,
     scale: float = 1.0,
     num_cpus: int = common.DEFAULT_NUM_CPUS,
+    workers: Optional[int] = None,
 ) -> ResultTable:
     """Regenerate Figure 9's curves."""
     categories = categories or list(common.CATEGORY_REPRESENTATIVE)
@@ -79,10 +80,16 @@ def run(
         title="Figure 9: PHT storage sensitivity (LS vs AGT training)",
         headers=["category", "trainer", "pht_entries", "coverage"],
     )
-    for category in categories:
-        coverage = run_category(
-            category, sizes=sizes, trainers=trainers, scale=scale, num_cpus=num_cpus
-        )
+    sweep = common.run_sweep(
+        run_category,
+        categories,
+        workers=workers,
+        sizes=sizes,
+        trainers=trainers,
+        scale=scale,
+        num_cpus=num_cpus,
+    )
+    for category, coverage in zip(categories, sweep):
         for trainer in trainers:
             for size in sizes:
                 table.add_row(

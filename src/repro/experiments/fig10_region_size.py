@@ -52,6 +52,7 @@ def run(
     region_sizes: Optional[List[int]] = None,
     scale: float = 1.0,
     num_cpus: int = common.DEFAULT_NUM_CPUS,
+    workers: Optional[int] = None,
 ) -> ResultTable:
     """Regenerate Figure 10's curves."""
     categories = categories or list(common.CATEGORY_REPRESENTATIVE)
@@ -60,10 +61,15 @@ def run(
         title="Figure 10: coverage vs spatial region size (PC+offset, AGT, unbounded PHT)",
         headers=["category", "region_size", "coverage"],
     )
-    for category in categories:
-        coverage = run_category(
-            category, region_sizes=region_sizes, scale=scale, num_cpus=num_cpus
-        )
+    sweep = common.run_sweep(
+        run_category,
+        categories,
+        workers=workers,
+        region_sizes=region_sizes,
+        scale=scale,
+        num_cpus=num_cpus,
+    )
+    for category, coverage in zip(categories, sweep):
         for region_size in region_sizes:
             table.add_row(category, region_size, coverage[region_size])
     return table

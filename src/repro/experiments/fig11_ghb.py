@@ -62,6 +62,7 @@ def run(
     configurations: Optional[List[str]] = None,
     scale: float = 1.0,
     num_cpus: int = common.DEFAULT_NUM_CPUS,
+    workers: Optional[int] = None,
 ) -> ResultTable:
     """Regenerate Figure 11's bars."""
     applications = applications or common.application_names()
@@ -70,10 +71,15 @@ def run(
         title="Figure 11: off-chip read miss coverage, SMS vs GHB",
         headers=["application", "configuration", "coverage", "uncovered", "overpredictions"],
     )
-    for name in applications:
-        reports = run_application(
-            name, configurations=configurations, scale=scale, num_cpus=num_cpus
-        )
+    sweep = common.run_sweep(
+        run_application,
+        applications,
+        workers=workers,
+        configurations=configurations,
+        scale=scale,
+        num_cpus=num_cpus,
+    )
+    for name, reports in zip(applications, sweep):
         for configuration in configurations:
             report = reports[configuration]
             table.add_row(

@@ -65,6 +65,7 @@ def run(
     samples: int = 3,
     scale: float = 1.0,
     num_cpus: int = common.DEFAULT_NUM_CPUS,
+    workers: Optional[int] = None,
 ) -> ResultTable:
     """Regenerate Figure 12's speedup bars (with 95% confidence intervals)."""
     applications = applications or common.application_names()
@@ -73,8 +74,10 @@ def run(
         headers=["application", "speedup", "ci_half_width", "ci_low", "ci_high"],
     )
     speedups: Dict[str, float] = {}
-    for name in applications:
-        interval = run_application(name, samples=samples, scale=scale, num_cpus=num_cpus)
+    sweep = common.run_sweep(
+        run_application, applications, workers=workers, samples=samples, scale=scale, num_cpus=num_cpus
+    )
+    for name, interval in zip(applications, sweep):
         speedups[name] = interval.mean
         table.add_row(name, interval.mean, interval.half_width, interval.lower, interval.upper)
     table.add_row(

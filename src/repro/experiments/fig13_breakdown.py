@@ -47,6 +47,7 @@ def run(
     applications: Optional[List[str]] = None,
     scale: float = 1.0,
     num_cpus: int = common.DEFAULT_NUM_CPUS,
+    workers: Optional[int] = None,
 ) -> ResultTable:
     """Regenerate Figure 13's stacked bars (normalised to the base system)."""
     applications = applications or common.application_names()
@@ -55,8 +56,10 @@ def run(
         title="Figure 13: normalized execution time breakdown (base vs SMS)",
         headers=["application", "system", "total"] + category_headers,
     )
-    for name in applications:
-        base_breakdown, sms_breakdown = run_application(name, scale=scale, num_cpus=num_cpus)
+    sweep = common.run_sweep(
+        run_application, applications, workers=workers, scale=scale, num_cpus=num_cpus
+    )
+    for name, (base_breakdown, sms_breakdown) in zip(applications, sweep):
         for label, breakdown in (("base", base_breakdown), ("SMS", sms_breakdown)):
             normalized = breakdown.normalized(reference=base_breakdown)
             table.add_row(

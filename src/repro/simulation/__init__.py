@@ -8,6 +8,8 @@ built from.  :mod:`repro.simulation.timing` converts those counters into the
 execution-time breakdowns and speedups of Figures 12-13 using the Table-1
 machine parameters, and :mod:`repro.simulation.sampling` supplies the
 SMARTS-style paired-measurement confidence intervals.
+:class:`~repro.simulation.sweep.SweepRunner` fans experiment sweeps out over
+multiprocessing workers.
 """
 
 from repro.simulation.config import MachineConfig, SimulationConfig
@@ -15,6 +17,7 @@ from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.timing import TimingModel, TimingResult
 from repro.simulation.breakdown import BreakdownCategory, ExecutionBreakdown
 from repro.simulation.sampling import ConfidenceInterval, SampledMeasurement, paired_speedup
+from repro.simulation.sweep import SweepRunner, SweepTask, sweep_map
 
 __all__ = [
     "MachineConfig",
@@ -28,4 +31,7 @@ __all__ = [
     "ConfidenceInterval",
     "SampledMeasurement",
     "paired_speedup",
+    "SweepRunner",
+    "SweepTask",
+    "sweep_map",
 ]

@@ -9,6 +9,7 @@ processors, block size).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.interconnect.torus import TorusTopology
 
@@ -67,6 +68,10 @@ class SimulationConfig:
     replacement: str = "lru"
     classify_false_sharing: bool = True
     warmup_fraction: float = 0.3
+    #: Absolute warmup length in accesses.  When set it takes precedence over
+    #: ``warmup_fraction``, which lets length-hint-free streams (e.g. piped
+    #: traces) run with a warmup phase.
+    warmup_accesses: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -74,6 +79,10 @@ class SimulationConfig:
             raise ValueError(f"num_cpus must be positive, got {self.num_cpus}")
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError(f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}")
+        if self.warmup_accesses is not None and self.warmup_accesses < 0:
+            raise ValueError(
+                f"warmup_accesses must be non-negative, got {self.warmup_accesses}"
+            )
 
     @classmethod
     def paper_default(cls) -> "SimulationConfig":
@@ -109,6 +118,7 @@ class SimulationConfig:
             replacement=self.replacement,
             classify_false_sharing=self.classify_false_sharing,
             warmup_fraction=self.warmup_fraction,
+            warmup_accesses=self.warmup_accesses,
             seed=self.seed,
         )
         return SimulationConfig(**values)

@@ -16,12 +16,19 @@ Per access the engine:
 
 Evictions and invalidations from each CPU's L1 are forwarded to that CPU's
 prefetcher as they happen (this is how spatial region generations end).
+
+The engine is *single-pass*: :meth:`SimulationEngine.run` consumes any
+iterable of records lazily, chunk by chunk, and never materializes the
+trace.  Peak engine-side memory is O(cache state + chunk), independent of
+trace length, so billion-record streams are only a matter of wall-clock
+time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from itertools import islice
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.coherence.multiprocessor import AccessOutcomeRecord, MultiprocessorMemorySystem
 from repro.interconnect.traffic import BandwidthAccountant, TrafficClass
@@ -29,7 +36,12 @@ from repro.memory.hierarchy import MemoryLevel
 from repro.prefetch.base import NullPrefetcher, Prefetcher
 from repro.simulation.config import SimulationConfig
 from repro.trace.record import ExecutionMode, MemoryAccess
-from repro.trace.stream import TraceStream
+from repro.trace.stream import (
+    DEFAULT_CHUNK_SIZE,
+    TraceStream,
+    iter_chunks,
+    resolve_warmup_count,
+)
 from repro.workloads.base import WorkloadMetadata
 
 #: A factory building the prefetcher for one CPU.
@@ -163,28 +175,56 @@ class SimulationEngine:
         self.prefetchers: List[Prefetcher] = [
             self.prefetcher_factory(cpu) for cpu in range(self.config.num_cpus)
         ]
+        self._l1s = [self.memory.l1(cpu) for cpu in range(self.config.num_cpus)]
         # Forward L1 evictions/invalidations to the owning CPU's prefetcher.
         for cpu in range(self.config.num_cpus):
             self.memory.l1(cpu).add_eviction_listener(self._make_eviction_listener(cpu))
+        # Retire off-chip-coverage tracking for blocks that leave the chip, so
+        # the side table stays O(cache state) on arbitrarily long traces.
+        self.memory.l2.add_eviction_listener(self._on_l2_eviction)
         self._measuring = True
         self.result = SimulationResult(name=name, num_cpus=self.config.num_cpus)
         self.result.traffic = BandwidthAccountant(block_size=self.config.block_size)
         self._instruction_baseline: Dict[int, int] = {}
         self._instruction_latest: Dict[int, int] = {}
-        self._offchip_prefetched: Dict[int, bool] = {}
+        # Blocks the prefetcher brought on-chip whose first demand use is
+        # still pending, plus a count of tracked blocks that left the chip
+        # unused (definitive overpredictions).  Together these replace the
+        # old unbounded block -> used dict.
+        self._offchip_prefetched_unused: Set[int] = set()
+        self._offchip_prefetched_wasted = 0
         self._l1_overprediction_baseline = 0
 
     # ------------------------------------------------------------------ #
     def _make_eviction_listener(self, cpu: int):
         def _listener(evicted) -> None:
+            block = evicted.block_addr
+            if (
+                block in self._offchip_prefetched_unused
+                and not self.memory.l2.contains(block)
+                and not self._resident_in_any_l1(block)
+            ):
+                # The prefetched block left the chip without ever being
+                # demand-used: a definitive overprediction.
+                self._offchip_prefetched_unused.discard(block)
+                self._offchip_prefetched_wasted += 1
             prefetcher = self.prefetchers[cpu]
-            response = prefetcher.on_eviction(evicted.block_addr, invalidated=evicted.invalidated)
+            response = prefetcher.on_eviction(block, invalidated=evicted.invalidated)
             if response.forced_evictions:
                 self._apply_forced_evictions(cpu, response.forced_evictions)
             if response.prefetches:
                 self._apply_prefetches(cpu, response.prefetches)
 
         return _listener
+
+    def _on_l2_eviction(self, evicted) -> None:
+        block = evicted.block_addr
+        if block in self._offchip_prefetched_unused and not self._resident_in_any_l1(block):
+            self._offchip_prefetched_unused.discard(block)
+            self._offchip_prefetched_wasted += 1
+
+    def _resident_in_any_l1(self, block: int) -> bool:
+        return any(l1.contains(block) for l1 in self._l1s)
 
     def _apply_forced_evictions(self, cpu: int, blocks: Iterable[int]) -> None:
         l1 = self.memory.l1(cpu)
@@ -201,10 +241,10 @@ class SimulationEngine:
                 into_l1=request.target_l1,
                 into_l2=True,
             )
-            if was_offchip and self._offchip_prefetched.get(block) is not False:
+            if was_offchip:
                 # Track blocks the prefetcher brought on-chip; the first demand
                 # access to one of them is an off-chip miss that was covered.
-                self._offchip_prefetched[block] = False
+                self._offchip_prefetched_unused.add(block)
             if self._measuring:
                 self.result.prefetches_issued += 1
                 if request.target_l1:
@@ -232,11 +272,15 @@ class SimulationEngine:
 
         # Off-chip coverage: the first demand use of a block the prefetcher
         # brought on-chip (and that has not been evicted everywhere since) is
-        # an off-chip miss that the prefetcher eliminated.
+        # an off-chip miss that the prefetcher eliminated.  Either way the
+        # block's tracking entry is consumed, keeping the side table bounded.
         block = record.address & ~(self.config.block_size - 1)
-        if self._offchip_prefetched.get(block) is False and not outcome.off_chip:
-            self._offchip_prefetched[block] = True
-            if record.is_read:
+        if block in self._offchip_prefetched_unused:
+            self._offchip_prefetched_unused.discard(block)
+            if outcome.off_chip:
+                # The prefetched copy was lost before this use: wasted.
+                self._offchip_prefetched_wasted += 1
+            elif record.is_read:
                 result.l2_read_covered += 1
 
         if outcome.l1_miss:
@@ -245,7 +289,7 @@ class SimulationEngine:
             else:
                 result.l1_write_misses += 1
             result.traffic.record_block_transfer(TrafficClass.DEMAND_FETCH)
-            result.traffic.record_useful_bytes(64)
+            result.traffic.record_useful_bytes(self.config.block_size)
             if outcome.false_sharing:
                 result.false_sharing_misses += 1
             if record.is_read:
@@ -260,12 +304,13 @@ class SimulationEngine:
 
     def _snapshot_overpredictions(self) -> None:
         """Copy prefetched-but-unused counters from the caches into the result."""
-        l1_total = sum(l1.stats.prefetched_evicted_unused for l1 in self.memory.l1_caches)
+        l1_total = sum(l1.stats.prefetched_evicted_unused for l1 in self._l1s)
         self.result.l1_overpredictions = l1_total - self._l1_overprediction_baseline
         # Off-chip overpredictions: blocks the prefetcher brought on-chip during
-        # the measurement phase that no demand access has used.
-        self.result.l2_overpredictions = sum(
-            1 for used in self._offchip_prefetched.values() if not used
+        # the measurement phase that no demand access has used — the ones still
+        # tracked plus the ones already retired as wasted.
+        self.result.l2_overpredictions = (
+            len(self._offchip_prefetched_unused) + self._offchip_prefetched_wasted
         )
 
     def _reset_measurement(self) -> None:
@@ -275,33 +320,80 @@ class SimulationEngine:
             name=self.name, num_cpus=self.config.num_cpus, traffic=traffic
         )
         self._l1_overprediction_baseline = sum(
-            l1.stats.prefetched_evicted_unused for l1 in self.memory.l1_caches
+            l1.stats.prefetched_evicted_unused for l1 in self._l1s
         )
         self._instruction_baseline = dict(self._instruction_latest)
-        self._offchip_prefetched = {}
+        self._offchip_prefetched_unused = set()
+        self._offchip_prefetched_wasted = 0
 
     # ------------------------------------------------------------------ #
-    def run(self, trace: TraceStream, limit: Optional[int] = None) -> SimulationResult:
+    def _resolve_warmup_count(
+        self,
+        trace: Iterable[MemoryAccess],
+        limit: Optional[int],
+        warmup_accesses: Optional[int],
+    ) -> int:
+        """Warmup length: explicit argument, then ``config.warmup_accesses``,
+        then ``config.warmup_fraction`` of the trace's length hint (see
+        :func:`repro.trace.stream.resolve_warmup_count`)."""
+        if warmup_accesses is None:
+            warmup_accesses = self.config.warmup_accesses
+        return resolve_warmup_count(
+            trace,
+            fraction=self.config.warmup_fraction,
+            limit=limit,
+            warmup_accesses=warmup_accesses,
+        )
+
+    def run(
+        self,
+        trace: Iterable[MemoryAccess],
+        limit: Optional[int] = None,
+        warmup_accesses: Optional[int] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> SimulationResult:
         """Run ``trace`` through the engine and return the measurement-phase result.
 
-        The first ``config.warmup_fraction`` of the trace warms caches and
-        predictor state; counters are reset at the warmup boundary.  ``limit``
-        truncates the trace (useful for tests).
+        The trace is consumed lazily in chunks of ``chunk_size`` records; it
+        is never materialized, so arbitrarily long streams run in O(cache
+        state + chunk) memory.  The first ``warmup_accesses`` records (or
+        ``config.warmup_fraction`` of the trace's length hint) warm caches
+        and predictor state; counters are reset at the warmup boundary.
+        ``limit`` lazily truncates the trace, doing finite work even on an
+        endless generator.
         """
-        records = trace if isinstance(trace, list) else list(trace)
+        warmup_count = self._resolve_warmup_count(trace, limit, warmup_accesses)
+        stream = iter(trace)
         if limit is not None:
-            records = records[:limit]
-        warmup_count = int(len(records) * self.config.warmup_fraction)
+            stream = islice(stream, limit)
 
         self._measuring = warmup_count == 0
         if self._measuring:
             self._reset_measurement()
 
-        for index, record in enumerate(records):
-            if not self._measuring and index >= warmup_count:
+        step = self._step
+        remaining_warmup = warmup_count
+        for chunk in iter_chunks(stream, chunk_size):
+            start = 0
+            if not self._measuring:
+                start = min(remaining_warmup, len(chunk))
+                for index in range(start):
+                    step(chunk[index])
+                remaining_warmup -= start
+                if remaining_warmup > 0:
+                    continue
                 self._reset_measurement()
                 self._measuring = True
-            self._step(record)
+            for index in range(start, len(chunk)):
+                step(chunk[index])
+
+        if not self._measuring:
+            # The stream ended inside the warmup phase (overestimated length
+            # hint, or warmup_accesses/limit beyond the trace).  Reset so the
+            # result is a clean, empty measurement phase rather than a
+            # snapshot of warmup-phase tracking state.
+            self._reset_measurement()
+            self._measuring = True
 
         for prefetcher in self.prefetchers:
             prefetcher.finalize()
@@ -336,12 +428,13 @@ class SimulationEngine:
 
 
 def run_simulation(
-    trace: TraceStream,
+    trace: Iterable[MemoryAccess],
     config: Optional[SimulationConfig] = None,
     prefetcher_factory: Optional[PrefetcherFactory] = None,
     name: str = "",
     limit: Optional[int] = None,
+    warmup_accesses: Optional[int] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build an engine, run ``trace``, return the result."""
     engine = SimulationEngine(config=config, prefetcher_factory=prefetcher_factory, name=name)
-    return engine.run(trace, limit=limit)
+    return engine.run(trace, limit=limit, warmup_accesses=warmup_accesses)

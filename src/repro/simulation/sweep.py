@@ -1,0 +1,129 @@
+"""Parallel sweep runner for experiment configurations.
+
+Every figure of the paper is a *sweep*: the same per-item function (one
+application, one category, one block size, ...) evaluated over a list of
+items.  :class:`SweepRunner` fans such sweeps out over ``multiprocessing``
+workers while preserving item order, and degrades gracefully to serial
+execution when parallelism is unavailable (restricted containers, unpicklable
+tasks) or not requested.
+
+Because each worker is a separate process, the per-item functions must be
+importable module-level callables with picklable arguments and results — the
+experiment runners in :mod:`repro.experiments` are written that way.  Workers
+rebuild their own traces (the in-process trace cache is per-worker), trading
+redundant generation for fully independent, deterministic runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: ``fn(*args, **kwargs)`` identified by ``key``."""
+
+    key: Any
+    fn: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def execute(self) -> Any:
+        return self.fn(*self.args, **dict(self.kwargs))
+
+
+def _execute_task_guarded(task: SweepTask) -> Tuple[bool, Any]:
+    """Top-level trampoline so tasks can be dispatched through a Pool.
+
+    Task exceptions are returned rather than raised so the caller can tell a
+    failing task (re-raise it) apart from failing pool infrastructure (fall
+    back to serial execution).
+    """
+    try:
+        return True, task.execute()
+    except Exception as exc:  # noqa: BLE001 - re-raised by the caller
+        return False, exc
+
+
+def default_worker_count() -> int:
+    """Worker count used when a parallel sweep does not specify one."""
+    return max(1, os.cpu_count() or 1)
+
+
+class SweepRunner:
+    """Runs sweep tasks serially or across a ``multiprocessing`` pool.
+
+    ``max_workers=None``, ``0``, or ``1`` selects serial execution (the
+    default — deterministic, no process overhead, right for small sweeps).
+    Larger values fan tasks out over that many worker processes.  If the pool
+    cannot be created or the tasks cannot be pickled, the runner falls back
+    to serial execution rather than failing the sweep.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise ValueError(f"max_workers must be non-negative, got {max_workers}")
+        self.max_workers = max_workers
+
+    @property
+    def parallel(self) -> bool:
+        return (self.max_workers or 0) > 1
+
+    # ------------------------------------------------------------------ #
+    def run(self, tasks: Sequence[SweepTask]) -> List[Any]:
+        """Execute ``tasks`` and return their results in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if not self.parallel or len(tasks) == 1:
+            return [task.execute() for task in tasks]
+        try:
+            processes = min(self.max_workers, len(tasks))
+            with multiprocessing.Pool(processes=processes) as pool:
+                outcomes = pool.map(_execute_task_guarded, tasks)
+        except (OSError, ValueError, AttributeError, pickle.PicklingError) as exc:
+            # Pool infrastructure failed — sandboxed environments may lack
+            # semaphores/fork, and ad-hoc callables (lambdas, closures) may
+            # not pickle.  Task-level exceptions never reach here: workers
+            # return them, and they are re-raised below.
+            warnings.warn(
+                f"parallel sweep unavailable ({type(exc).__name__}: {exc}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [task.execute() for task in tasks]
+        results = []
+        for ok, value in outcomes:
+            if not ok:
+                raise value
+            results.append(value)
+        return results
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        items: Iterable[Any],
+        **fixed_kwargs: Any,
+    ) -> List[Any]:
+        """Apply ``fn(item, **fixed_kwargs)`` to every item, preserving order."""
+        tasks = [
+            SweepTask(key=item, fn=fn, args=(item,), kwargs=dict(fixed_kwargs))
+            for item in items
+        ]
+        return self.run(tasks)
+
+
+def sweep_map(
+    fn: Callable[..., Any],
+    items: Iterable[Any],
+    workers: Optional[int] = None,
+    **fixed_kwargs: Any,
+) -> List[Any]:
+    """One-shot convenience wrapper around :meth:`SweepRunner.map`."""
+    return SweepRunner(max_workers=workers).map(fn, items, **fixed_kwargs)

@@ -5,12 +5,22 @@ iterable of :class:`~repro.trace.record.MemoryAccess` records, each one
 describing a single data reference (program counter, byte address,
 read/write, issuing CPU, and whether the access occurred in user or system
 mode).  Workload generators (:mod:`repro.workloads`) produce traces; the
-simulation engine (:mod:`repro.simulation`) consumes them.
+simulation engine (:mod:`repro.simulation`) consumes them lazily, one chunk
+at a time, so traces of any length fit in O(chunk) memory.
 """
 
 from repro.trace.record import AccessType, ExecutionMode, MemoryAccess
-from repro.trace.stream import InterleavedTrace, MaterializedTrace, TraceStream
-from repro.trace.reader import read_trace, write_trace
+from repro.trace.stream import (
+    ChunkedTraceStream,
+    GeneratedTrace,
+    InterleavedTrace,
+    MaterializedTrace,
+    TraceStream,
+    iter_chunks,
+    resolve_warmup_count,
+    stream_length_hint,
+)
+from repro.trace.reader import FileTraceStream, read_trace, stream_trace, write_trace
 from repro.trace.stats import TraceStatistics, summarize_trace
 
 __all__ = [
@@ -19,8 +29,15 @@ __all__ = [
     "MemoryAccess",
     "TraceStream",
     "MaterializedTrace",
+    "GeneratedTrace",
     "InterleavedTrace",
+    "ChunkedTraceStream",
+    "iter_chunks",
+    "resolve_warmup_count",
+    "stream_length_hint",
+    "FileTraceStream",
     "read_trace",
+    "stream_trace",
     "write_trace",
     "TraceStatistics",
     "summarize_trace",

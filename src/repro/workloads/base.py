@@ -285,6 +285,10 @@ class SyntheticWorkload(TraceStream):
     def total_accesses(self) -> int:
         return self.num_cpus * self.accesses_per_cpu
 
+    def length_hint(self) -> int:
+        """Expected trace length (exact unless a ``cpu_stream`` ends early)."""
+        return self.total_accesses
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(cpus={self.num_cpus}, "

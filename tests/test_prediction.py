@@ -92,6 +92,37 @@ class TestPredictionRegisterFile:
         requests = file_.drain()
         assert all(request.region == 0x20000 for request in requests)
 
+    def test_cancel_absent_region_preserves_round_robin(self, file_):
+        # The cursor sits on the second register after one drained request;
+        # cancelling a region with no active register must not reset it, or
+        # the first register would be unfairly favoured on the next drain.
+        file_.allocate(0x10000, pattern(1, 2))
+        file_.allocate(0x20000, pattern(5, 6))
+        first = file_.drain(max_requests=1)
+        assert first[0].region == 0x10000
+        assert file_.cancel_region(0x90000) == 0
+        second = file_.drain(max_requests=1)
+        assert second[0].region == 0x20000
+
+    def test_cancel_before_cursor_shifts_cursor(self, file_):
+        # Removing a register below the cursor shifts it so the drain
+        # continues from the same logical position.
+        file_.allocate(0x10000, pattern(1, 2))
+        file_.allocate(0x20000, pattern(5, 6))
+        file_.allocate(0x30000, pattern(3, 4))
+        file_.drain(max_requests=2)  # cursor now on the third register
+        assert file_.cancel_region(0x10000) == 1
+        nxt = file_.drain(max_requests=1)
+        assert nxt[0].region == 0x30000
+
+    def test_cancel_at_tail_clamps_cursor(self, file_):
+        file_.allocate(0x10000, pattern(1, 2))
+        file_.allocate(0x20000, pattern(5, 6))
+        file_.drain(max_requests=1)  # cursor on second register
+        assert file_.cancel_region(0x20000) == 1
+        nxt = file_.drain(max_requests=1)
+        assert nxt[0].region == 0x10000
+
     def test_clear(self, file_):
         file_.allocate(0x10000, pattern(1))
         file_.clear()

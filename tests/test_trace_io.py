@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.trace.reader import read_trace, write_trace
+from repro.trace.reader import FileTraceStream, read_trace, stream_trace, write_trace
 from repro.trace.record import AccessType, ExecutionMode, MemoryAccess
 
 
@@ -59,3 +59,65 @@ class TestParsing:
         path.write_text("0 U X 400 1000 5\n")
         with pytest.raises(ValueError):
             read_trace(path)
+
+
+class TestStreaming:
+    def test_stream_trace_yields_same_records_as_read_trace(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, _sample_records())
+        assert list(stream_trace(path)) == list(read_trace(path))
+
+    def test_stream_is_replayable(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, _sample_records())
+        stream = stream_trace(path)
+        assert list(stream) == list(stream)
+
+    def test_stream_is_lazy(self, tmp_path):
+        # Only the consumed prefix is parsed: a malformed tail is not reached.
+        path = tmp_path / "trace.txt"
+        path.write_text("0 U R 400 1000 5\nmalformed line\n")
+        iterator = iter(stream_trace(path))
+        assert next(iterator).address == 0x1000
+        with pytest.raises(ValueError):
+            next(iterator)
+
+    def test_stream_from_generator_write(self, tmp_path):
+        # write_trace consumes its input lazily, so a generator round-trips.
+        path = tmp_path / "trace.txt"
+        count = write_trace(path, (record for record in _sample_records()))
+        assert count == 3
+        assert len(read_trace(path)) == 3
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "bigtrace.txt"
+        write_trace(path, _sample_records())
+        assert stream_trace(path).name == "bigtrace"
+        assert FileTraceStream(path, name="custom").name == "custom"
+
+
+class TestGzip:
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        records = _sample_records()
+        assert write_trace(path, records) == 3
+        loaded = read_trace(path)
+        assert [r.address for r in loaded] == [r.address for r in records]
+
+    def test_gzip_file_is_compressed(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        write_trace(path, _sample_records())
+        with path.open("rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+
+    def test_gzip_streaming(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        write_trace(path, _sample_records())
+        stream = stream_trace(path)
+        assert list(stream) == list(stream)
+        assert len(list(stream)) == 3
+
+    def test_gzip_name_strips_both_suffixes(self, tmp_path):
+        path = tmp_path / "mytrace.txt.gz"
+        write_trace(path, _sample_records())
+        assert read_trace(path).name == "mytrace"

@@ -4,10 +4,13 @@ import pytest
 
 from repro.trace.record import MemoryAccess
 from repro.trace.stream import (
+    ChunkedTraceStream,
     GeneratedTrace,
     InterleavedTrace,
     MaterializedTrace,
     concatenate,
+    iter_chunks,
+    stream_length_hint,
 )
 
 
@@ -66,6 +69,93 @@ class TestGeneratedTrace:
         trace = GeneratedTrace(lambda: _records(6), name="gen")
         assert list(trace) == list(trace)
         assert len(list(trace)) == 6
+
+    def test_length_hint_defaults_to_none(self):
+        assert GeneratedTrace(lambda: _records(6)).length_hint() is None
+
+    def test_length_hint_from_constructor(self):
+        trace = GeneratedTrace(lambda: _records(6), length=6)
+        assert trace.length_hint() == 6
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratedTrace(lambda: _records(6), length=-1)
+
+
+class TestIterChunks:
+    def test_chunks_cover_all_records_in_order(self):
+        records = _records(10)
+        chunks = list(iter_chunks(records, chunk_size=3))
+        assert [len(chunk) for chunk in chunks] == [3, 3, 3, 1]
+        assert [record for chunk in chunks for record in chunk] == records
+
+    def test_consumes_generators_lazily(self):
+        def generate():
+            yield from _records(5)
+
+        chunks = iter_chunks(generate(), chunk_size=2)
+        assert len(next(chunks)) == 2
+
+    def test_empty_source(self):
+        assert list(iter_chunks([], chunk_size=4)) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(_records(3), chunk_size=0))
+
+
+class TestChunkedTraceStream:
+    def test_flat_iteration_matches_source(self):
+        records = _records(10)
+        chunked = ChunkedTraceStream(MaterializedTrace(records), chunk_size=4)
+        assert list(chunked) == records
+
+    def test_iter_chunks_bounded(self):
+        chunked = ChunkedTraceStream(MaterializedTrace(_records(10)), chunk_size=4)
+        assert max(len(chunk) for chunk in chunked.iter_chunks()) <= 4
+
+    def test_replayable_over_replayable_source(self):
+        chunked = ChunkedTraceStream(MaterializedTrace(_records(8)), chunk_size=3)
+        assert list(chunked) == list(chunked)
+
+    def test_delegates_length_hint(self):
+        chunked = ChunkedTraceStream(MaterializedTrace(_records(8)), chunk_size=3)
+        assert chunked.length_hint() == 8
+
+    def test_inherits_source_name(self):
+        chunked = ChunkedTraceStream(MaterializedTrace(_records(1), name="src"))
+        assert chunked.name == "src"
+
+    def test_chunked_helper_on_streams(self):
+        trace = MaterializedTrace(_records(6))
+        assert list(trace.chunked(2)) == list(trace)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            ChunkedTraceStream(MaterializedTrace(_records(1)), chunk_size=0)
+
+
+class TestStreamLengthHint:
+    def test_sized_container(self):
+        assert stream_length_hint(_records(4)) == 4
+
+    def test_materialized_trace(self):
+        assert stream_length_hint(MaterializedTrace(_records(4))) == 4
+
+    def test_hintless_stream(self):
+        assert stream_length_hint(GeneratedTrace(lambda: _records(4))) is None
+
+    def test_generated_trace_with_length(self):
+        assert stream_length_hint(GeneratedTrace(lambda: _records(4), length=4)) == 4
+
+    def test_total_accesses_attribute(self):
+        class Workloadish:
+            total_accesses = 123
+
+            def __iter__(self):
+                return iter(())
+
+        assert stream_length_hint(Workloadish()) == 123
 
 
 class TestInterleavedTrace:
