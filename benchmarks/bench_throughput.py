@@ -1,0 +1,199 @@
+"""Throughput harness: trace decode, engine, and sweep-cache benchmarks.
+
+Emits ``BENCH_engine.json`` so the performance trajectory of the hot paths
+is tracked from PR to PR.  Three sections:
+
+* **decode** — records/second for fully materializing every record of the
+  same trace through the text reader and the binary reader (plain and gzip),
+  plus the binary/text speedup;
+* **engine** — end-to-end simulated records/second for the no-prefetch
+  baseline and SMS configurations, fed from a binary stream; and
+* **sweep_cache** — wall-clock for the same figure sweep with a cold and a
+  warm result cache, plus the warm/cold speedup.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py            # full (1M records)
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick    # CI smoke
+
+The harness needs only the standard library and ``repro`` itself; all trace
+and cache artifacts live in a temporary directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import SMSConfig, SpatialMemoryStreaming  # noqa: E402
+from repro.simulation.config import SimulationConfig  # noqa: E402
+from repro.simulation.engine import SimulationEngine  # noqa: E402
+from repro.simulation.result_cache import SweepResultCache, set_default_cache  # noqa: E402
+from repro.trace.reader import stream_trace, write_trace  # noqa: E402
+from repro.workloads import make_workload  # noqa: E402
+
+NUM_CPUS = 4
+
+
+def _generate_trace(records: int, directory: Path) -> dict:
+    """Write one workload trace in every benchmarked format."""
+    workload = make_workload(
+        "oltp-db2", num_cpus=NUM_CPUS, accesses_per_cpu=max(1, records // NUM_CPUS), seed=17
+    )
+    paths = {
+        "text": directory / "bench.trace",
+        "text_gz": directory / "bench.trace.gz",
+        "binary": directory / "bench.strc",
+        "binary_gz": directory / "bench.strc.gz",
+    }
+    start = time.perf_counter()
+    count = write_trace(paths["text"], workload)
+    generate_seconds = time.perf_counter() - start
+    for key in ("text_gz", "binary", "binary_gz"):
+        write_trace(paths[key], stream_trace(paths["text"]))
+    return {
+        "paths": paths,
+        "records": count,
+        "generate_and_write_text_seconds": round(generate_seconds, 3),
+        "sizes_bytes": {key: path.stat().st_size for key, path in paths.items()},
+    }
+
+
+def _time_decode(path: Path, expected: int) -> float:
+    """Seconds to materialize every record of ``path`` once."""
+    stream = stream_trace(path)
+    count = 0
+    start = time.perf_counter()
+    if hasattr(stream, "iter_chunks") and path.name.endswith((".strc", ".strc.gz")):
+        for chunk in stream.iter_chunks():
+            count += len(chunk)
+    else:
+        for _ in stream:
+            count += 1
+    elapsed = time.perf_counter() - start
+    if count != expected:
+        raise RuntimeError(f"{path}: decoded {count} records, expected {expected}")
+    return elapsed
+
+
+def bench_decode(trace: dict) -> dict:
+    records = trace["records"]
+    result = {"records": records}
+    for key in ("text", "text_gz", "binary", "binary_gz"):
+        seconds = _time_decode(trace["paths"][key], records)
+        result[key] = {
+            "seconds": round(seconds, 3),
+            "records_per_second": round(records / seconds),
+        }
+    result["binary_vs_text_speedup"] = round(
+        result["text"]["seconds"] / result["binary"]["seconds"], 2
+    )
+    result["binary_gz_vs_text_gz_speedup"] = round(
+        result["text_gz"]["seconds"] / result["binary_gz"]["seconds"], 2
+    )
+    return result
+
+
+def bench_engine(trace: dict, sim_records: int) -> dict:
+    stream = stream_trace(trace["paths"]["binary"])
+    limit = min(sim_records, trace["records"])
+    result = {"records": limit}
+    configurations = {
+        "baseline": None,
+        "sms": lambda cpu: SpatialMemoryStreaming(SMSConfig.paper_practical()),
+    }
+    for name, factory in configurations.items():
+        config = SimulationConfig.small(num_cpus=NUM_CPUS)
+        engine = SimulationEngine(config, factory, name=name)
+        start = time.perf_counter()
+        engine.run(stream, limit=limit, warmup_accesses=0)
+        seconds = time.perf_counter() - start
+        result[name] = {
+            "seconds": round(seconds, 3),
+            "records_per_second": round(limit / seconds),
+        }
+    return result
+
+
+def bench_sweep_cache(scale: float, directory: Path) -> dict:
+    from repro.experiments import fig10_region_size
+
+    cache_dir = directory / "sweep-cache"
+
+    def run_once() -> float:
+        start = time.perf_counter()
+        fig10_region_size.run(scale=scale, num_cpus=2)
+        return time.perf_counter() - start
+
+    previous = set_default_cache(SweepResultCache(cache_dir))
+    try:
+        cold = run_once()
+        warm = run_once()
+    finally:
+        set_default_cache(previous)
+    return {
+        "figure": "fig10",
+        "scale": scale,
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "warm_vs_cold_speedup": round(cold / warm, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=1_000_000,
+                        help="trace length for the decode benchmark")
+    parser.add_argument("--sim-records", type=int, default=200_000,
+                        help="records simulated in the engine benchmark")
+    parser.add_argument("--sweep-scale", type=float, default=0.3,
+                        help="trace scale for the sweep-cache benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes (100k decode / 20k sim / 0.1 scale)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_engine.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.records, args.sim_records, args.sweep_scale = 100_000, 20_000, 0.1
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        directory = Path(tmp)
+        print(f"generating {args.records:,}-record trace ...", flush=True)
+        trace = _generate_trace(args.records, directory)
+        print("benchmarking decode ...", flush=True)
+        decode = bench_decode(trace)
+        print("benchmarking engine ...", flush=True)
+        engine = bench_engine(trace, args.sim_records)
+        print("benchmarking sweep cache ...", flush=True)
+        sweep_cache = bench_sweep_cache(args.sweep_scale, directory)
+        report = {
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": args.quick,
+            "trace": {
+                "records": trace["records"],
+                "sizes_bytes": trace["sizes_bytes"],
+            },
+            "decode": decode,
+            "engine": engine,
+            "sweep_cache": sweep_cache,
+        }
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    print(json.dumps(report, indent=2, default=str))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Version-dependent performance knobs.
+
+``dataclass(slots=True)`` (Python 3.10+) removes the per-instance ``__dict__``
+from the small objects allocated on the simulation hot path (cache lines,
+access results, outcome records), cutting both memory and attribute-access
+cost.  On 3.9 the keyword does not exist, so hot dataclasses take their slots
+kwargs from :data:`DATACLASS_SLOTS` and degrade gracefully to plain
+dataclasses there.
+
+Usage::
+
+    from repro._compat import DATACLASS_SLOTS
+
+    @dataclass(**DATACLASS_SLOTS)
+    class HotObject: ...
+"""
+
+from __future__ import annotations
+
+import sys
+
+DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}

@@ -15,9 +15,18 @@ Three subcommands cover the common workflows without writing any Python:
         python -m repro.cli trace --workload sparse --output sparse.trace
 
 ``experiment``
-    Regenerate one of the paper's figures/tables and print its rows::
+    Regenerate one of the paper's figures/tables and print its rows.  Sweeps
+    fan out over ``--workers`` processes, and per-task results are memoized
+    in an on-disk cache (disable with ``--no-cache``) so repeated sweeps
+    over the same configuration are nearly free::
 
         python -m repro.cli experiment --figure fig11 --scale 0.3
+
+``convert``
+    Convert a trace between the text and binary (``.strc``) formats, in
+    either direction — the target format follows the output file name::
+
+        python -m repro.cli convert --input sparse.trace --output sparse.strc.gz
 """
 
 from __future__ import annotations
@@ -96,6 +105,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fan the sweep out over N worker processes (default: serial)",
     )
+    experiment.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep task instead of reusing cached results",
+    )
+    experiment.add_argument(
+        "--cache-dir",
+        default=None,
+        help="sweep result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-sms)",
+    )
+
+    convert = subparsers.add_parser(
+        "convert", help="convert a trace between the text and binary formats"
+    )
+    convert.add_argument("--input", required=True, help="source trace (text or binary)")
+    convert.add_argument(
+        "--output",
+        required=True,
+        help="destination trace; .strc/.strc.gz selects the binary format",
+    )
 
     return parser
 
@@ -146,6 +175,45 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_convert(args: argparse.Namespace) -> int:
+    import os
+    import time
+    from pathlib import Path
+
+    from repro.trace.reader import stream_trace
+
+    if Path(args.input).resolve() == Path(args.output).resolve():
+        # write_trace truncates the output before the lazy reader ever runs,
+        # so converting in place would destroy the source.
+        print("error: --input and --output are the same file", file=sys.stderr)
+        return 1
+    out_path = Path(args.output)
+    # Convert into a sibling temp file and move it into place only on
+    # success, so a missing input or a malformed record mid-file never
+    # destroys an existing output trace.  The temp name keeps the output's
+    # suffixes (prefixed stem) so format/gzip detection is unchanged.
+    tmp_path = out_path.with_name(f".tmp-{out_path.name}")
+    start = time.perf_counter()
+    try:
+        count = write_trace(tmp_path, stream_trace(args.input))
+        os.replace(tmp_path, out_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
+    elapsed = time.perf_counter() - start
+    in_size = Path(args.input).stat().st_size
+    out_size = out_path.stat().st_size
+    rate = count / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"converted {count} records in {elapsed:.2f}s ({rate:,.0f} records/s): "
+        f"{args.input} ({in_size:,} B) -> {args.output} ({out_size:,} B)"
+    )
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         fig04_block_size,
@@ -187,8 +255,22 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print()
         print(applications.to_text())
         return 0
-    table = runners[args.figure]()
+
+    from repro.simulation.result_cache import SweepResultCache, set_default_cache
+
+    cache = None if args.no_cache else SweepResultCache(directory=args.cache_dir)
+    previous = set_default_cache(cache)
+    try:
+        table = runners[args.figure]()
+    finally:
+        set_default_cache(previous)
     print(table.to_text())
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"sweep cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+            f"{stats.stores} stored ({cache.directory})"
+        )
     return 0
 
 
@@ -196,6 +278,7 @@ _COMMANDS = {
     "simulate": _command_simulate,
     "trace": _command_trace,
     "experiment": _command_experiment,
+    "convert": _command_convert,
 }
 
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from repro.memory.block import block_address
 from repro.coherence.protocol import CoherenceActions, CoherenceState, DirectoryEntry
 
 
@@ -23,6 +22,7 @@ class Directory:
         if coherence_unit <= 0 or coherence_unit & (coherence_unit - 1):
             raise ValueError(f"coherence_unit must be a power of two, got {coherence_unit}")
         self.coherence_unit = coherence_unit
+        self._unit_mask = ~(coherence_unit - 1)
         self._entries: Dict[int, DirectoryEntry] = {}
         self.read_requests = 0
         self.write_requests = 0
@@ -30,7 +30,7 @@ class Directory:
         self.downgrades_sent = 0
 
     def _entry(self, address: int) -> DirectoryEntry:
-        block = block_address(address, self.coherence_unit)
+        block = address & self._unit_mask
         entry = self._entries.get(block)
         if entry is None:
             entry = DirectoryEntry(block_addr=block)
@@ -39,7 +39,7 @@ class Directory:
 
     def lookup(self, address: int) -> Optional[DirectoryEntry]:
         """Return the directory entry covering ``address`` (no allocation)."""
-        return self._entries.get(block_address(address, self.coherence_unit))
+        return self._entries.get(address & self._unit_mask)
 
     def sharers(self, address: int) -> Iterable[int]:
         entry = self.lookup(address)

@@ -12,15 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro._compat import DATACLASS_SLOTS
 from repro.coherence.directory import Directory
 from repro.coherence.false_sharing import FalseSharingClassifier, MissClassification
-from repro.memory.block import block_address
 from repro.memory.cache import AccessOutcome, AccessResult, SetAssociativeCache
 from repro.memory.hierarchy import MemoryLevel
 from repro.trace.record import MemoryAccess
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class AccessOutcomeRecord:
     """Everything the engine and timing model need to know about one access."""
 
@@ -75,6 +75,8 @@ class MultiprocessorMemorySystem:
             raise ValueError(f"num_cpus must be positive, got {num_cpus}")
         self.num_cpus = num_cpus
         self.block_size = block_size
+        # Power-of-two block mapping, precomputed for the per-access hot path.
+        self._block_mask = ~(block_size - 1)
         self._l1s: List[SetAssociativeCache] = [
             SetAssociativeCache(
                 capacity_bytes=l1_capacity,
@@ -128,34 +130,36 @@ class MultiprocessorMemorySystem:
         if not 0 <= cpu < self.num_cpus:
             raise ValueError(f"record.cpu={cpu} out of range for {self.num_cpus} CPUs")
         self.total_accesses += 1
-        if record.instruction_count > self.total_instructions:
-            self.total_instructions = record.instruction_count
+        icount = record.instruction_count
+        if icount > self.total_instructions:
+            self.total_instructions = icount
 
         address = record.address
-        block = block_address(address, self.block_size)
-        l1 = self._l1s[cpu]
+        block = address & self._block_mask
+        is_write = record.is_write
+        classifier = self.classifier
 
         # --- Coherence actions happen before the local lookup. -------------
         invalidations_sent = 0
-        if record.is_write:
+        if is_write:
             actions = self.directory.write(cpu, block)
             for other in actions.invalidate_cpus:
                 evicted = self._l1s[other].invalidate(block)
-                if evicted is not None and self.classifier is not None:
-                    self.classifier.record_invalidation(other, block, address)
-                elif self.classifier is not None:
+                if evicted is not None and classifier is not None:
+                    classifier.record_invalidation(other, block, address)
+                elif classifier is not None:
                     # The remote CPU had no L1 copy but had previously lost
                     # one; keep accumulating the chunks written remotely.
-                    self.classifier.record_remote_write(other, block, address)
+                    classifier.record_remote_write(other, block, address)
                 invalidations_sent += 1
         else:
-            actions = self.directory.read(cpu, block)
+            self.directory.read(cpu, block)
             # Downgrades are writebacks in a real system; functionally the
             # remote copy stays resident (now shared), so no cache change.
 
         # --- L1 lookup. -----------------------------------------------------
-        l1_result = l1.access(address, is_write=record.is_write)
-        if not l1_result.is_miss:
+        l1_result = self._l1s[cpu].access(address, is_write=is_write)
+        if l1_result.outcome is not AccessOutcome.MISS:
             return AccessOutcomeRecord(
                 record=record,
                 level=MemoryLevel.L1,
@@ -164,12 +168,12 @@ class MultiprocessorMemorySystem:
             )
 
         classification = None
-        if self.classifier is not None:
-            classification = self.classifier.classify_miss(cpu, block)
+        if classifier is not None:
+            classification = classifier.classify_miss(cpu, block)
 
         # --- Shared L2 lookup. -----------------------------------------------
-        l2_result = self.l2.access(address, is_write=record.is_write)
-        level = MemoryLevel.L2 if not l2_result.is_miss else MemoryLevel.MEMORY
+        l2_result = self.l2.access(address, is_write=is_write)
+        level = MemoryLevel.L2 if l2_result.outcome is not AccessOutcome.MISS else MemoryLevel.MEMORY
         return AccessOutcomeRecord(
             record=record,
             level=level,
@@ -186,7 +190,7 @@ class MultiprocessorMemorySystem:
         SMS stream requests behave like reads in the coherence protocol
         (Section 3.2), so the directory registers the CPU as a sharer.
         """
-        block = block_address(address, self.block_size)
+        block = address & self._block_mask
         self.directory.read(cpu, block)
         if into_l2:
             self.l2.fill(block, prefetched=True)

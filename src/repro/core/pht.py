@@ -11,9 +11,48 @@ the AGT.  An unbounded (dictionary-backed) variant supports the paper's
 from __future__ import annotations
 
 from collections import OrderedDict
+from functools import lru_cache
 from typing import Hashable, List, Optional, Tuple
 
 from repro.core.pattern import SpatialPattern
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix(value: int, data: bytes) -> int:
+    """One FNV-1a round over ``data`` (module-level: defined once, not per call)."""
+    for byte in data:
+        value = ((value ^ byte) * _FNV_PRIME) & _U64_MASK
+    return value
+
+
+def _encode(element) -> bytes:
+    """Canonical byte encoding of one key element.
+
+    Integers take a dedicated path (``str`` of an int is its repr, without
+    the generic ``repr`` dispatch); everything else keeps the original
+    ``repr`` encoding.  The encoding — and therefore every hash value — is
+    identical to the historical implementation, which the pinned regression
+    test in ``tests/test_pht.py`` enforces.
+    """
+    if type(element) is int:
+        return str(element).encode()
+    return repr(element).encode("utf-8")
+
+
+def _hash_uncached(key: Hashable) -> int:
+    state = _FNV_OFFSET
+    if isinstance(key, tuple):
+        for element in key:
+            state = _mix(state, _encode(element))
+    else:
+        state = _mix(state, _encode(key))
+    return state
+
+
+_hash_cached = lru_cache(maxsize=65536)(_hash_uncached)
 
 
 def stable_hash(key: Hashable) -> int:
@@ -22,20 +61,26 @@ def stable_hash(key: Hashable) -> int:
     Python's built-in ``hash`` is randomised for strings across processes;
     PHT set selection must be reproducible, so we use an FNV-1a style mix
     over a canonical encoding of the key.
-    """
-    def _mix(value: int, data: bytes) -> int:
-        for byte in data:
-            value ^= byte
-            value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-        return value
 
-    state = 0xCBF29CE484222325
+    This sits on the per-lookup hot path of every PHT access, so it is
+    memoized: trigger keys recur constantly (the key space is bounded by
+    PCs × region offsets), making repeated hashes a single dict probe
+    instead of a byte-wise mixing loop.  The memo keys on equality while the
+    encoding keys on ``repr``, so only keys for which equality implies an
+    identical encoding — ints and strings, the PHT key domain — take the
+    cached path; anything else (``True`` == ``1``, ``1.0`` == ``1``) is
+    hashed directly to keep the result independent of call order.
+    """
     if isinstance(key, tuple):
         for element in key:
-            state = _mix(state, repr(element).encode("utf-8"))
-    else:
-        state = _mix(state, repr(key).encode("utf-8"))
-    return state
+            kind = type(element)
+            if kind is not int and kind is not str:
+                return _hash_uncached(key)
+        return _hash_cached(key)
+    kind = type(key)
+    if kind is int or kind is str:
+        return _hash_cached(key)
+    return _hash_uncached(key)
 
 
 class PatternHistoryTable:

@@ -180,6 +180,7 @@ def run_sweep(
     fn: Callable,
     items: Iterable,
     workers: Optional[int] = None,
+    cache=None,
     **fixed_kwargs,
 ) -> List:
     """Map ``fn(item, **fixed_kwargs)`` over ``items``, optionally in parallel.
@@ -190,5 +191,11 @@ def run_sweep(
     via :class:`~repro.simulation.sweep.SweepRunner`.  ``fn`` must be a
     module-level callable for parallel runs; each worker rebuilds its own
     traces, so results are identical to a serial sweep.
+
+    ``cache`` (a :class:`~repro.simulation.result_cache.SweepResultCache`)
+    memoizes completed task results on disk; when omitted, the ambient
+    default configured by the CLI / ``REPRO_SWEEP_CACHE=1`` applies, so
+    repeated sweeps over the same configuration reuse prior results across
+    figures and runs.
     """
-    return sweep_map(fn, items, workers=workers, **fixed_kwargs)
+    return sweep_map(fn, items, workers=workers, cache=cache, **fixed_kwargs)

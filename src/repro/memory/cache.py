@@ -20,7 +20,8 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.memory.block import block_address, is_power_of_two
+from repro._compat import DATACLASS_SLOTS
+from repro.memory.block import is_power_of_two
 from repro.memory.replacement import ReplacementPolicy, make_policy
 from repro.memory.stats import CacheStatistics
 
@@ -41,7 +42,7 @@ class AccessOutcome(enum.Enum):
         return not self.is_miss
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class CacheLine:
     """State of one resident cache block."""
 
@@ -56,7 +57,7 @@ class CacheLine:
             self.dirty = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class EvictedLine:
     """Information about a block leaving the cache."""
 
@@ -71,7 +72,7 @@ class EvictedLine:
         return self.prefetched and not self.used
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class AccessResult:
     """Outcome of :meth:`SetAssociativeCache.access`."""
 
@@ -81,7 +82,7 @@ class AccessResult:
 
     @property
     def is_miss(self) -> bool:
-        return self.outcome.is_miss
+        return self.outcome is AccessOutcome.MISS
 
     @property
     def is_prefetch_hit(self) -> bool:
@@ -124,6 +125,13 @@ class SetAssociativeCache:
             )
         self._replacement_name = replacement
         self._seed = seed
+        # Hot-path address arithmetic: block/set mapping is mask-and-shift
+        # (both sizes are powers of two), precomputed once so per-access
+        # lookups avoid division and the power-of-two re-validation in
+        # :func:`repro.memory.block.block_address`.
+        self._block_mask = ~(block_size - 1)
+        self._index_shift = block_size.bit_length() - 1
+        self._set_mask = self.num_sets - 1
         # Each set is a dict way -> CacheLine plus a replacement policy.
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
         self._policies: List[ReplacementPolicy] = [
@@ -138,7 +146,7 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------ #
     def set_index(self, address: int) -> int:
         """Return the set index for ``address``."""
-        return (address // self.block_size) % self.num_sets
+        return (address >> self._index_shift) & self._set_mask
 
     def _find_way(self, set_index: int, block_addr: int) -> Optional[int]:
         for way, line in self._sets[set_index].items():
@@ -162,16 +170,21 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------ #
     def contains(self, address: int) -> bool:
         """Return True if the block containing ``address`` is resident."""
-        block = block_address(address, self.block_size)
-        return self._find_way(self.set_index(address), block) is not None
+        block = address & self._block_mask
+        cache_set = self._sets[(address >> self._index_shift) & self._set_mask]
+        for line in cache_set.values():
+            if line.block_addr == block:
+                return True
+        return False
 
     def probe(self, address: int) -> Optional[CacheLine]:
         """Return the resident line for ``address`` without updating any state."""
-        block = block_address(address, self.block_size)
-        way = self._find_way(self.set_index(address), block)
+        block = address & self._block_mask
+        set_index = (address >> self._index_shift) & self._set_mask
+        way = self._find_way(set_index, block)
         if way is None:
             return None
-        return self._sets[self.set_index(address)][way]
+        return self._sets[set_index][way]
 
     def resident_blocks(self) -> List[int]:
         """Return a list of all resident block addresses (for tests)."""
@@ -190,33 +203,38 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------ #
     def access(self, address: int, is_write: bool = False, allocate: bool = True) -> AccessResult:
         """Perform a demand access; allocate on miss if ``allocate`` is True."""
-        block = block_address(address, self.block_size)
-        set_index = self.set_index(address)
-        self.stats.accesses += 1
+        block = address & self._block_mask
+        set_index = (address >> self._index_shift) & self._set_mask
+        stats = self.stats
+        stats.accesses += 1
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
 
-        way = self._find_way(set_index, block)
-        if way is not None:
-            line = self._sets[set_index][way]
-            self._policies[set_index].on_access(way)
-            if line.prefetched and not line.used:
-                outcome = AccessOutcome.PREFETCH_HIT
-                self.stats.prefetch_hits += 1
-                self.stats.prefetched_used += 1
-            else:
-                outcome = AccessOutcome.HIT
-            self.stats.hits += 1
-            line.mark_demand_use(is_write)
-            return AccessResult(outcome=outcome, block_addr=block)
+        # Hit fast path: scan the (small) set inline rather than via
+        # _find_way + a second dict lookup.
+        cache_set = self._sets[set_index]
+        for way, line in cache_set.items():
+            if line.block_addr == block:
+                self._policies[set_index].on_access(way)
+                if line.prefetched and not line.used:
+                    outcome = AccessOutcome.PREFETCH_HIT
+                    stats.prefetch_hits += 1
+                    stats.prefetched_used += 1
+                else:
+                    outcome = AccessOutcome.HIT
+                stats.hits += 1
+                line.used = True
+                if is_write:
+                    line.dirty = True
+                return AccessResult(outcome=outcome, block_addr=block)
 
-        self.stats.misses += 1
+        stats.misses += 1
         if is_write:
-            self.stats.write_misses += 1
+            stats.write_misses += 1
         else:
-            self.stats.read_misses += 1
+            stats.read_misses += 1
         evicted = None
         if allocate:
             evicted = self._install(set_index, block, prefetched=False, dirty=is_write)
@@ -228,8 +246,8 @@ class SetAssociativeCache:
         Returns the line evicted to make room, if any.  Filling a block that
         is already resident is a no-op (the existing line keeps its state).
         """
-        block = block_address(address, self.block_size)
-        set_index = self.set_index(address)
+        block = address & self._block_mask
+        set_index = (address >> self._index_shift) & self._set_mask
         if self._find_way(set_index, block) is not None:
             return None
         if prefetched:
@@ -238,8 +256,8 @@ class SetAssociativeCache:
 
     def invalidate(self, address: int) -> Optional[EvictedLine]:
         """Remove the block containing ``address`` (coherence invalidation)."""
-        block = block_address(address, self.block_size)
-        set_index = self.set_index(address)
+        block = address & self._block_mask
+        set_index = (address >> self._index_shift) & self._set_mask
         way = self._find_way(set_index, block)
         if way is None:
             return None

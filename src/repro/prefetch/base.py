@@ -34,7 +34,14 @@ class PrefetchRequest:
 
 @dataclass
 class PrefetcherResponse:
-    """What a prefetcher wants the engine to do after one event."""
+    """What a prefetcher wants the engine to do after one event.
+
+    A response received from another component must be treated as immutable:
+    the no-op paths below all return the shared :data:`EMPTY_RESPONSE`
+    singleton so the common "nothing to do" case allocates nothing.
+    Prefetchers that do have work construct (and may mutate) their own
+    instances.
+    """
 
     prefetches: List[PrefetchRequest] = field(default_factory=list)
     forced_evictions: List[int] = field(default_factory=list)
@@ -48,6 +55,10 @@ class PrefetcherResponse:
     @property
     def is_empty(self) -> bool:
         return not self.prefetches and not self.forced_evictions
+
+
+#: Shared empty response for the allocation-free "nothing to do" fast path.
+EMPTY_RESPONSE = PrefetcherResponse()
 
 
 class Prefetcher:
@@ -66,11 +77,11 @@ class Prefetcher:
 
     def on_eviction(self, block_address: int, invalidated: bool) -> PrefetcherResponse:
         """Observe a block leaving the cache level this prefetcher trains on."""
-        return PrefetcherResponse()
+        return EMPTY_RESPONSE
 
     def finalize(self) -> PrefetcherResponse:
         """Called once at end of trace; flush any internal training state."""
-        return PrefetcherResponse()
+        return EMPTY_RESPONSE
 
     def reset_stats(self) -> None:
         self.stats = PrefetcherStatistics()
@@ -85,4 +96,4 @@ class NullPrefetcher(Prefetcher):
     name = "none"
 
     def on_access(self, record: MemoryAccess, outcome: AccessOutcomeRecord) -> PrefetcherResponse:
-        return PrefetcherResponse()
+        return EMPTY_RESPONSE

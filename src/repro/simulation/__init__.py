@@ -9,17 +9,28 @@ execution-time breakdowns and speedups of Figures 12-13 using the Table-1
 machine parameters, and :mod:`repro.simulation.sampling` supplies the
 SMARTS-style paired-measurement confidence intervals.
 :class:`~repro.simulation.sweep.SweepRunner` fans experiment sweeps out over
-multiprocessing workers.
+multiprocessing workers, memoizing completed task results through a
+:class:`~repro.simulation.result_cache.SweepResultCache`.
 """
 
 from repro.simulation.config import MachineConfig, SimulationConfig
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.timing import TimingModel, TimingResult
 from repro.simulation.breakdown import BreakdownCategory, ExecutionBreakdown
+from repro.simulation.result_cache import (
+    CacheStats,
+    SweepResultCache,
+    default_cache,
+    set_default_cache,
+)
 from repro.simulation.sampling import ConfidenceInterval, SampledMeasurement, paired_speedup
 from repro.simulation.sweep import SweepRunner, SweepTask, sweep_map
 
 __all__ = [
+    "CacheStats",
+    "SweepResultCache",
+    "default_cache",
+    "set_default_cache",
     "MachineConfig",
     "SimulationConfig",
     "SimulationEngine",

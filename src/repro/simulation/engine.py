@@ -161,6 +161,9 @@ class SimulationEngine:
         self.config = config or SimulationConfig()
         self.prefetcher_factory = prefetcher_factory or (lambda cpu: NullPrefetcher())
         self.name = name
+        # Hot-path constants: per-record work must not re-derive these.
+        self._block_size = self.config.block_size
+        self._block_mask = ~(self.config.block_size - 1)
         self.memory = MultiprocessorMemorySystem(
             num_cpus=self.config.num_cpus,
             block_size=self.config.block_size,
@@ -233,7 +236,7 @@ class SimulationEngine:
 
     def _apply_prefetches(self, cpu: int, prefetches) -> None:
         for request in prefetches:
-            block = request.address & ~(self.config.block_size - 1)
+            block = request.address & self._block_mask
             was_offchip = not self.memory.l2.contains(block)
             self.memory.prefetch_fill(
                 cpu,
@@ -255,8 +258,9 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def _record_outcome(self, record: MemoryAccess, outcome: AccessOutcomeRecord) -> None:
         result = self.result
+        is_read = record.is_read
         result.accesses += 1
-        if record.is_read:
+        if is_read:
             result.reads += 1
         else:
             result.writes += 1
@@ -264,8 +268,8 @@ class SimulationEngine:
             result.system_accesses += 1
         result.invalidations += outcome.invalidations_sent
 
-        if outcome.l1_covered_by_prefetch:
-            if record.is_read:
+        if outcome.l1_result.is_prefetch_hit:
+            if is_read:
                 result.l1_read_covered += 1
             else:
                 result.l1_write_covered += 1
@@ -274,33 +278,35 @@ class SimulationEngine:
         # brought on-chip (and that has not been evicted everywhere since) is
         # an off-chip miss that the prefetcher eliminated.  Either way the
         # block's tracking entry is consumed, keeping the side table bounded.
-        block = record.address & ~(self.config.block_size - 1)
-        if block in self._offchip_prefetched_unused:
-            self._offchip_prefetched_unused.discard(block)
-            if outcome.off_chip:
-                # The prefetched copy was lost before this use: wasted.
-                self._offchip_prefetched_wasted += 1
-            elif record.is_read:
-                result.l2_read_covered += 1
+        tracked = self._offchip_prefetched_unused
+        if tracked:
+            block = record.address & self._block_mask
+            if block in tracked:
+                tracked.discard(block)
+                if outcome.level is MemoryLevel.MEMORY:
+                    # The prefetched copy was lost before this use: wasted.
+                    self._offchip_prefetched_wasted += 1
+                elif is_read:
+                    result.l2_read_covered += 1
 
-        if outcome.l1_miss:
-            if record.is_read:
+        if outcome.l1_result.is_miss:
+            if is_read:
                 result.l1_read_misses += 1
             else:
                 result.l1_write_misses += 1
-            result.traffic.record_block_transfer(TrafficClass.DEMAND_FETCH)
-            result.traffic.record_useful_bytes(self.config.block_size)
+            traffic = result.traffic
+            traffic.record_block_transfer(TrafficClass.DEMAND_FETCH)
+            traffic.record_useful_bytes(self._block_size)
             if outcome.false_sharing:
                 result.false_sharing_misses += 1
-            if record.is_read:
+            if is_read:
                 result.l2_demand_reads += 1
                 if outcome.level is MemoryLevel.L2:
                     result.l2_read_hits += 1
                 else:
                     result.offchip_read_misses += 1
-            else:
-                if outcome.off_chip:
-                    result.offchip_write_misses += 1
+            elif outcome.level is MemoryLevel.MEMORY:
+                result.offchip_write_misses += 1
 
     def _snapshot_overpredictions(self) -> None:
         """Copy prefetched-but-unused counters from the caches into the result."""
@@ -356,16 +362,22 @@ class SimulationEngine:
 
         The trace is consumed lazily in chunks of ``chunk_size`` records; it
         is never materialized, so arbitrarily long streams run in O(cache
-        state + chunk) memory.  The first ``warmup_accesses`` records (or
-        ``config.warmup_fraction`` of the trace's length hint) warm caches
-        and predictor state; counters are reset at the warmup boundary.
-        ``limit`` lazily truncates the trace, doing finite work even on an
-        endless generator.
+        state + chunk) memory.  Streams that decode in chunks natively
+        (:class:`~repro.trace.binary.BinaryTraceStream`) hand their decoded
+        batches straight to the engine — no per-record generator hop.  The
+        first ``warmup_accesses`` records (or ``config.warmup_fraction`` of
+        the trace's length hint) warm caches and predictor state; counters
+        are reset at the warmup boundary.  ``limit`` lazily truncates the
+        trace, doing finite work even on an endless generator.
         """
         warmup_count = self._resolve_warmup_count(trace, limit, warmup_accesses)
-        stream = iter(trace)
-        if limit is not None:
-            stream = islice(stream, limit)
+        if limit is None and isinstance(trace, TraceStream):
+            chunks = trace.iter_chunks(chunk_size)
+        else:
+            stream = iter(trace)
+            if limit is not None:
+                stream = islice(stream, limit)
+            chunks = iter_chunks(stream, chunk_size)
 
         self._measuring = warmup_count == 0
         if self._measuring:
@@ -373,19 +385,24 @@ class SimulationEngine:
 
         step = self._step
         remaining_warmup = warmup_count
-        for chunk in iter_chunks(stream, chunk_size):
-            start = 0
+        for chunk in chunks:
             if not self._measuring:
-                start = min(remaining_warmup, len(chunk))
-                for index in range(start):
-                    step(chunk[index])
-                remaining_warmup -= start
-                if remaining_warmup > 0:
+                head = len(chunk)
+                if remaining_warmup < head:
+                    head = remaining_warmup
+                    for record in chunk[:head]:
+                        step(record)
+                    chunk = chunk[head:]
+                    remaining_warmup = 0
+                    self._reset_measurement()
+                    self._measuring = True
+                else:
+                    for record in chunk:
+                        step(record)
+                    remaining_warmup -= head
                     continue
-                self._reset_measurement()
-                self._measuring = True
-            for index in range(start, len(chunk)):
-                step(chunk[index])
+            for record in chunk:
+                step(record)
 
         if not self._measuring:
             # The stream ended inside the warmup phase (overestimated length
@@ -407,17 +424,18 @@ class SimulationEngine:
 
     def _step(self, record: MemoryAccess) -> None:
         outcome = self.memory.access(record)
-        self._instruction_latest[record.cpu] = max(
-            self._instruction_latest.get(record.cpu, 0), record.instruction_count
-        )
+        cpu = record.cpu
+        icount = record.instruction_count
+        latest = self._instruction_latest
+        if icount > latest.get(cpu, 0):
+            latest[cpu] = icount
         if self._measuring:
             self._record_outcome(record, outcome)
-        prefetcher = self.prefetchers[record.cpu]
-        response = prefetcher.on_access(record, outcome)
+        response = self.prefetchers[cpu].on_access(record, outcome)
         if response.forced_evictions:
-            self._apply_forced_evictions(record.cpu, response.forced_evictions)
+            self._apply_forced_evictions(cpu, response.forced_evictions)
         if response.prefetches:
-            self._apply_prefetches(record.cpu, response.prefetches)
+            self._apply_prefetches(cpu, response.prefetches)
 
     def _finalize_instructions(self) -> None:
         total = 0

@@ -1,0 +1,271 @@
+"""Content-addressed on-disk memoization for sweep results.
+
+Every figure of the paper re-runs the same deterministic per-item
+simulations; across the fig04–fig13 suite (and across repeated invocations)
+most tasks are exact repeats.  :class:`SweepResultCache` memoizes completed
+:class:`~repro.simulation.sweep.SweepTask` results on disk, keyed by a
+fingerprint of
+
+* the task's function identity (``module.qualname``),
+* its arguments and keyword arguments (canonically encoded, covering the
+  task key, experiment configuration, and trace identity — workload name,
+  CPU count, scale, and seed are all arguments of the experiment runners),
+  and
+* a *code fingerprint* of the whole ``repro`` package source, so any code
+  change — workload generators included — invalidates every prior entry
+  rather than silently serving stale results.
+
+Entries are pickles stored under ``<digest>.pkl`` and written atomically
+(temp file + ``os.replace``), so concurrent sweep workers and interrupted
+runs can never corrupt the cache; at worst a result is recomputed.
+
+The cache is opt-in: library entry points take an explicit cache (or none),
+``repro.cli experiment`` enables it by default with ``--no-cache`` as the
+escape hatch, and the ``REPRO_SWEEP_CACHE=1`` environment variable turns it
+on ambiently for programmatic sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import warnings
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple, Union
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable enabling the ambient default cache ("1" to enable).
+CACHE_ENABLE_ENV = "REPRO_SWEEP_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sms``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-sms"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file (names + contents).
+
+    Computed once per process (~1 MB of source).  Any edit anywhere in the
+    package — predictor, engine, workload generator — changes the
+    fingerprint and therefore every cache key.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class _Uncacheable(Exception):
+    """Raised while fingerprinting a task that has no stable identity."""
+
+
+def _canonical(value: Any, out: list) -> None:
+    """Append a stable, type-tagged encoding of ``value`` to ``out``.
+
+    Only data whose representation is process-independent is accepted;
+    anything else (arbitrary objects, lambdas, open handles) raises
+    :class:`_Uncacheable` and the task simply runs uncached.
+    """
+    if value is None or value is True or value is False:
+        out.append(repr(value))
+    elif isinstance(value, (int, float, str, bytes)):
+        out.append(f"{type(value).__name__}:{value!r}")
+    elif isinstance(value, (tuple, list)):
+        out.append(f"{type(value).__name__}[")
+        for item in value:
+            _canonical(item, out)
+        out.append("]")
+    elif isinstance(value, dict):
+        out.append("dict[")
+        try:
+            items = sorted(value.items())
+        except TypeError as exc:
+            raise _Uncacheable(f"unsortable dict keys: {exc}") from exc
+        for key, item in items:
+            _canonical(key, out)
+            out.append("=")
+            _canonical(item, out)
+        out.append("]")
+    else:
+        raise _Uncacheable(f"value of type {type(value).__name__} has no stable encoding")
+
+
+def _function_identity(fn: Callable[..., Any]) -> str:
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname:
+        raise _Uncacheable("function has no module/qualname")
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        raise _Uncacheable(f"{qualname} is not an importable module-level function")
+    return f"{module}.{qualname}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    skipped: int = 0  # tasks with no stable fingerprint
+    stores: int = 0
+    errors: int = 0  # unreadable/unpicklable entries (treated as misses)
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "skipped": self.skipped,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+
+class SweepResultCache:
+    """On-disk, content-addressed store of completed sweep task results."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    def fingerprint(self, fn: Callable[..., Any], args: Tuple, kwargs: Any) -> Optional[str]:
+        """Digest identifying one task, or ``None`` when it has no stable key."""
+        try:
+            parts = [_function_identity(fn), "@", code_fingerprint(), "("]
+            _canonical(tuple(args), parts)
+            _canonical(dict(kwargs), parts)
+            parts.append(")")
+        except _Uncacheable:
+            self.stats.skipped += 1
+            return None
+        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+    def _entry_path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.pkl"
+
+    # ------------------------------------------------------------------ #
+    def get(self, digest: str) -> Tuple[bool, Any]:
+        """Return ``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        path = self._entry_path(digest)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception as exc:  # corrupt entry: recompute, don't fail the sweep
+            self.stats.errors += 1
+            self.stats.misses += 1
+            warnings.warn(
+                f"discarding unreadable sweep cache entry {path.name}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, digest: str, value: Any) -> None:
+        """Store ``value`` under ``digest`` atomically; failures are non-fatal."""
+        path = self._entry_path(digest)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError) as exc:
+            self.stats.errors += 1
+            warnings.warn(
+                f"could not store sweep cache entry: {exc}", RuntimeWarning, stacklevel=2
+            )
+            return
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> int:
+        """Delete every entry; return the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"SweepResultCache(directory={str(self.directory)!r}, stats={self.stats})"
+
+
+#: Sentinel distinguishing "never configured" from "explicitly disabled".
+_AMBIENT_UNSET = object()
+_ambient_cache: Any = _AMBIENT_UNSET
+
+
+def set_default_cache(cache: Optional[SweepResultCache]) -> Any:
+    """Set (or, with ``None``, disable) the process-wide ambient cache.
+
+    Entry points that own the process — the CLI, the benchmark harness —
+    use this to configure caching for every sweep they trigger without
+    threading a cache argument through each figure runner.  An explicit
+    setting overrides the ``REPRO_SWEEP_CACHE`` environment default.
+
+    Returns an opaque token for the previous setting; pass it back to this
+    function to restore whatever was configured before (including the
+    "never configured" state), so scoped use does not clobber a caller's
+    ambient cache::
+
+        previous = set_default_cache(my_cache)
+        try:
+            ...
+        finally:
+            set_default_cache(previous)
+    """
+    global _ambient_cache
+    previous = _ambient_cache
+    _ambient_cache = cache
+    return previous
+
+
+def default_cache() -> Optional[SweepResultCache]:
+    """The ambient cache for sweeps that were not handed one explicitly.
+
+    Resolution order: :func:`set_default_cache`'s setting, then
+    ``REPRO_SWEEP_CACHE=1`` (library/test runs default to no caching so
+    results never depend on on-disk state unless asked for).
+    """
+    if _ambient_cache is not _AMBIENT_UNSET:
+        return _ambient_cache
+    if os.environ.get(CACHE_ENABLE_ENV, "") == "1":
+        return SweepResultCache()
+    return None

@@ -12,6 +12,13 @@ importable module-level callables with picklable arguments and results — the
 experiment runners in :mod:`repro.experiments` are written that way.  Workers
 rebuild their own traces (the in-process trace cache is per-worker), trading
 redundant generation for fully independent, deterministic runs.
+
+A :class:`~repro.simulation.result_cache.SweepResultCache` can be attached to
+memoize completed task results on disk: cached tasks are answered before any
+worker is spawned, only the misses fan out, and fresh results are stored by
+the parent process.  Repeated sweeps over the same (workload, seed, scale,
+configuration) — across figures and across runs — then cost a handful of
+pickle loads instead of full simulations.
 """
 
 from __future__ import annotations
@@ -22,6 +29,8 @@ import pickle
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.simulation.result_cache import SweepResultCache, default_cache
 
 
 @dataclass(frozen=True)
@@ -65,10 +74,15 @@ class SweepRunner:
     to serial execution rather than failing the sweep.
     """
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[SweepResultCache] = None,
+    ) -> None:
         if max_workers is not None and max_workers < 0:
             raise ValueError(f"max_workers must be non-negative, got {max_workers}")
         self.max_workers = max_workers
+        self.cache = cache if cache is not None else default_cache()
 
     @property
     def parallel(self) -> bool:
@@ -76,10 +90,41 @@ class SweepRunner:
 
     # ------------------------------------------------------------------ #
     def run(self, tasks: Sequence[SweepTask]) -> List[Any]:
-        """Execute ``tasks`` and return their results in task order."""
+        """Execute ``tasks`` and return their results in task order.
+
+        With a cache attached, previously completed tasks are answered from
+        disk and only the remainder is executed (serially or in parallel);
+        fresh results are stored by the parent process, never by workers.
+        """
         tasks = list(tasks)
         if not tasks:
             return []
+        cache = self.cache
+        if cache is None:
+            return self._execute(tasks)
+
+        results: List[Any] = [None] * len(tasks)
+        pending: List[int] = []
+        digests: List[Optional[str]] = []
+        for index, task in enumerate(tasks):
+            digest = cache.fingerprint(task.fn, task.args, task.kwargs)
+            digests.append(digest)
+            if digest is not None:
+                hit, value = cache.get(digest)
+                if hit:
+                    results[index] = value
+                    continue
+            pending.append(index)
+        if pending:
+            fresh = self._execute([tasks[index] for index in pending])
+            for index, value in zip(pending, fresh):
+                results[index] = value
+                if digests[index] is not None:
+                    cache.put(digests[index], value)
+        return results
+
+    def _execute(self, tasks: Sequence[SweepTask]) -> List[Any]:
+        """Run ``tasks`` (no caching), preserving order; ``tasks`` is non-empty."""
         if not self.parallel or len(tasks) == 1:
             return [task.execute() for task in tasks]
         try:
@@ -123,7 +168,8 @@ def sweep_map(
     fn: Callable[..., Any],
     items: Iterable[Any],
     workers: Optional[int] = None,
+    cache: Optional[SweepResultCache] = None,
     **fixed_kwargs: Any,
 ) -> List[Any]:
     """One-shot convenience wrapper around :meth:`SweepRunner.map`."""
-    return SweepRunner(max_workers=workers).map(fn, items, **fixed_kwargs)
+    return SweepRunner(max_workers=workers, cache=cache).map(fn, items, **fixed_kwargs)

@@ -7,6 +7,33 @@ read/write, issuing CPU, and whether the access occurred in user or system
 mode).  Workload generators (:mod:`repro.workloads`) produce traces; the
 simulation engine (:mod:`repro.simulation`) consumes them lazily, one chunk
 at a time, so traces of any length fit in O(chunk) memory.
+
+On-disk trace formats
+---------------------
+
+Two interchangeable file formats are supported, auto-detected by
+:func:`~repro.trace.reader.stream_trace` / :func:`~repro.trace.reader.write_trace`
+and convertible in either direction with ``repro.cli convert``:
+
+**Text** (``.trace`` / any name; ``.gz`` for gzip) — one record per line,
+human-readable and diff-friendly::
+
+    <cpu> <mode:U|S> <type:R|W> <pc-hex> <address-hex> <instruction-count>
+
+Blank lines and ``#`` comments are ignored.  This is the interchange format
+for external tools; the reader validates every field.
+
+**Binary** (``.strc`` / ``.strc.gz``) — struct-packed little-endian records
+behind a fixed 16-byte header, roughly 6x faster to decode::
+
+    header  := magic(4s = b"STRC") version(u16) flags(u16) record_count(u64)
+    record  := pc(u64) address(u64) code(u8) cpu(u16) instruction_count(u64)
+
+``code`` packs the access type and mode (bit 0: write, bit 1: system);
+``flags`` bit 0 marks a gzip-compressed payload (the header itself is never
+compressed, so the record count is patchable after a streaming write and
+readable without decompression).  See :mod:`repro.trace.binary` for the full
+specification.
 """
 
 from repro.trace.record import AccessType, ExecutionMode, MemoryAccess
@@ -19,6 +46,12 @@ from repro.trace.stream import (
     iter_chunks,
     resolve_warmup_count,
     stream_length_hint,
+)
+from repro.trace.binary import (
+    BinaryTraceStream,
+    is_binary_trace,
+    read_trace_binary,
+    write_trace_binary,
 )
 from repro.trace.reader import FileTraceStream, read_trace, stream_trace, write_trace
 from repro.trace.stats import TraceStatistics, summarize_trace
@@ -36,9 +69,13 @@ __all__ = [
     "resolve_warmup_count",
     "stream_length_hint",
     "FileTraceStream",
+    "BinaryTraceStream",
+    "is_binary_trace",
     "read_trace",
+    "read_trace_binary",
     "stream_trace",
     "write_trace",
+    "write_trace_binary",
     "TraceStatistics",
     "summarize_trace",
 ]

@@ -1,0 +1,302 @@
+"""Binary (struct-packed) trace file I/O — the ``.strc`` format.
+
+Text traces are convenient to inspect and diff, but parsing them dominates
+end-to-end reproduction time on full-scale runs: every line costs a split,
+two hex conversions, and two code-table lookups.  The binary format stores
+the same records struct-packed so the decoder is a single
+:meth:`struct.Struct.iter_unpack` sweep over buffered reads — roughly an
+order of magnitude faster (see ``benchmarks/bench_throughput.py``).
+
+File layout
+-----------
+
+A ``.strc`` file is a fixed 16-byte header followed by a record payload::
+
+    header  := magic(4s = b"STRC") version(u16) flags(u16) record_count(u64)
+    payload := record *
+    record  := pc(u64) address(u64) code(u8) cpu(u16) instruction_count(u64)
+
+All integers are little-endian; records are 27 bytes with no padding.  The
+``code`` byte is the packed :attr:`~repro.trace.record.MemoryAccess.code`
+field (bit 0: write, bit 1: system mode), and the five record fields are laid
+out in exactly the order of the :class:`~repro.trace.record.MemoryAccess`
+tuple, so decoding a record is ``tuple.__new__(MemoryAccess, unpacked)`` with
+no per-record transformation.
+
+Bits 2–7 of ``code`` are reserved: writers emit zero, and readers ignore
+them (the enum views mask to the low two bits), so corrupt or
+future-format records degrade instead of raising.
+
+``flags`` bit 0 marks a gzip-compressed payload (the ``.strc.gz`` variant).
+The header itself is *never* compressed: the writer streams records of
+unknown count, then seeks back and patches ``record_count`` — which works
+for gzip files too precisely because the header lives outside the compressed
+member.  ``record_count`` is ``0xFFFF_FFFF_FFFF_FFFF`` when unknown (e.g. a
+foreign writer that could not seek); readers then fall back to counting.
+
+The record count in the header gives :class:`BinaryTraceStream` an exact
+``length_hint`` for free, which fraction-based warmup sizing needs and the
+text reader can only obtain with a full counting pass.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+from repro.trace.record import MemoryAccess
+from repro.trace.stream import DEFAULT_CHUNK_SIZE, MaterializedTrace, TraceStream
+
+import struct
+
+#: First four bytes of every binary trace file.
+MAGIC = b"STRC"
+
+#: Current format version (bumped on any incompatible layout change).
+VERSION = 1
+
+#: Header flag bit: the payload is a gzip member.
+FLAG_GZIP = 0x0001
+
+#: ``record_count`` sentinel meaning "not recorded".
+UNKNOWN_COUNT = 0xFFFF_FFFF_FFFF_FFFF
+
+HEADER = struct.Struct("<4sHHQ")
+#: Byte offset of ``record_count`` within the header (patched after writing).
+_COUNT_OFFSET = 8
+
+#: One record, in MemoryAccess tuple order: pc, address, code, cpu, icount.
+RECORD = struct.Struct("<QQBHQ")
+RECORD_SIZE = RECORD.size
+
+_MAX_U64 = 2**64 - 1
+_MAX_U16 = 2**16 - 1
+
+#: Records encoded or decoded per I/O batch (~220 kB of payload).
+_BATCH_RECORDS = 8192
+
+
+def is_binary_trace(path: Union[str, Path]) -> bool:
+    """True when ``path`` exists and starts with the binary trace magic."""
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def has_binary_suffix(path: Union[str, Path]) -> bool:
+    """True when ``path`` is named as a binary trace (``.strc`` / ``.strc.gz``)."""
+    name = Path(path).name
+    return name.endswith(".strc") or name.endswith(".strc.gz")
+
+
+def _read_header(handle: IO[bytes], path: Path) -> tuple:
+    """Read and validate the 16-byte header; return (flags, record_count)."""
+    raw = handle.read(HEADER.size)
+    if len(raw) < HEADER.size:
+        raise ValueError(
+            f"{path}: truncated binary trace header "
+            f"(got {len(raw)} bytes, need {HEADER.size})"
+        )
+    magic, version, flags, record_count = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise ValueError(
+            f"{path}: not a binary trace (bad magic {magic!r}; expected {MAGIC!r})"
+        )
+    if version != VERSION:
+        raise ValueError(
+            f"{path}: unsupported binary trace version {version} "
+            f"(this reader supports version {VERSION})"
+        )
+    return flags, record_count
+
+
+def write_trace_binary(
+    path: Union[str, Path],
+    records: Iterable[MemoryAccess],
+    compress: Optional[bool] = None,
+) -> int:
+    """Write ``records`` to ``path`` in the binary format; return the count.
+
+    ``records`` is consumed lazily in batches, so streams of any length can
+    be written in O(batch) memory.  ``compress`` defaults to the file name
+    (``.gz`` suffix); the header stays uncompressed either way so the record
+    count can be patched in after the stream has been consumed.  Output is
+    byte-for-byte deterministic (the gzip member carries no timestamp).
+    """
+    path = Path(path)
+    if compress is None:
+        compress = path.suffix == ".gz"
+    flags = FLAG_GZIP if compress else 0
+    count = 0
+    pack = RECORD.pack
+    with path.open("wb") as raw:
+        raw.write(HEADER.pack(MAGIC, VERSION, flags, UNKNOWN_COUNT))
+        payload: IO[bytes] = (
+            gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0)
+            if compress
+            else raw
+        )
+        try:
+            batch: List[bytes] = []
+            append = batch.append
+            for record in records:
+                pc, address, code, cpu, icount = record
+                if not (0 <= pc <= _MAX_U64 and 0 <= address <= _MAX_U64
+                        and 0 <= icount <= _MAX_U64):
+                    raise ValueError(
+                        f"record {count}: field outside the unsigned 64-bit range "
+                        f"(pc={pc:#x}, address={address:#x}, "
+                        f"instruction_count={icount})"
+                    )
+                if not 0 <= cpu <= _MAX_U16:
+                    raise ValueError(
+                        f"record {count}: cpu {cpu} outside the unsigned 16-bit range"
+                    )
+                append(pack(pc, address, code, cpu, icount))
+                count += 1
+                if len(batch) >= _BATCH_RECORDS:
+                    payload.write(b"".join(batch))
+                    batch.clear()
+            if batch:
+                payload.write(b"".join(batch))
+        finally:
+            if compress:
+                payload.close()  # finish the gzip member before patching
+        raw.seek(_COUNT_OFFSET)
+        raw.write(struct.pack("<Q", count))
+    return count
+
+
+class BinaryTraceStream(TraceStream):
+    """A replayable stream backed by a binary (``.strc``) trace file.
+
+    Each iteration re-opens the file and decodes records in batches, so
+    iterating costs O(batch) memory regardless of file size.  The header's
+    record count doubles as an exact :meth:`length_hint`, making
+    fraction-based warmup sizing free.
+
+    :meth:`iter_chunks` yields the decoder's batch lists directly, letting
+    chunk-oriented consumers (the simulation engine) skip the per-record
+    generator hop entirely.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], name: str = "", length: Optional[int] = None
+    ) -> None:
+        self.path = Path(path)
+        super().__init__(name=name or _binary_stem(self.path))
+        if length is not None and length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        self._length = length
+
+    # ------------------------------------------------------------------ #
+    def _open_payload(self):
+        """Open the file, validate the header; return (handle, raw, count).
+
+        ``raw`` is the underlying file object — callers must close it as
+        well as ``handle``, because closing a ``GzipFile`` does not close
+        the fileobj it wraps.
+        """
+        raw = self.path.open("rb")
+        try:
+            flags, record_count = _read_header(raw, self.path)
+        except Exception:
+            raw.close()
+            raise
+        handle: IO[bytes] = (
+            gzip.GzipFile(filename="", mode="rb", fileobj=raw) if flags & FLAG_GZIP else raw
+        )
+        count = None if record_count == UNKNOWN_COUNT else record_count
+        return handle, raw, count
+
+    def iter_chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[List[MemoryAccess]]:
+        """Decode the file as successive record lists of ``chunk_size``."""
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        handle, raw, expected = self._open_payload()
+        read_bytes = chunk_size * RECORD_SIZE
+        new = tuple.__new__
+        cls = MemoryAccess
+        iter_unpack = RECORD.iter_unpack
+        decoded = 0
+        pending = b""
+        try:
+            while True:
+                data = handle.read(read_bytes)
+                if not data:
+                    break
+                if pending:
+                    data = pending + data
+                    pending = b""
+                remainder = len(data) % RECORD_SIZE
+                if remainder:
+                    pending = data[-remainder:]
+                    data = data[:-remainder]
+                if not data:
+                    continue
+                chunk = [new(cls, fields) for fields in iter_unpack(data)]
+                decoded += len(chunk)
+                yield chunk
+        finally:
+            handle.close()
+            raw.close()
+        if pending:
+            raise ValueError(
+                f"{self.path}: truncated binary trace "
+                f"({len(pending)} trailing bytes are not a whole record)"
+            )
+        if expected is not None and decoded != expected:
+            raise ValueError(
+                f"{self.path}: header promises {expected} records "
+                f"but the payload holds {decoded}"
+            )
+        if self._length is None:
+            self._length = decoded
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for chunk in self.iter_chunks():
+            yield from chunk
+
+    # ------------------------------------------------------------------ #
+    def length_hint(self) -> Optional[int]:
+        if self._length is None:
+            try:
+                with self.path.open("rb") as raw:
+                    _, record_count = _read_header(raw, self.path)
+            except (OSError, ValueError):
+                return None
+            if record_count != UNKNOWN_COUNT:
+                self._length = record_count
+        return self._length
+
+    def count_records(self) -> int:
+        """Record count — free from the header, one pass only if unrecorded."""
+        if self._length is None and self.length_hint() is None:
+            count = 0
+            for chunk in self.iter_chunks():
+                count += len(chunk)
+            self._length = count
+        return self._length
+
+
+def _binary_stem(path: Path) -> str:
+    """File stem with ``.gz`` and ``.strc`` peeled off (``t.strc.gz`` → ``t``)."""
+    stem = path.stem
+    while stem != (stripped := Path(stem).stem):
+        stem = stripped
+    return stem
+
+
+def read_trace_binary(path: Union[str, Path], name: str = "") -> MaterializedTrace:
+    """Eagerly read a binary trace into a :class:`MaterializedTrace`."""
+    stream = BinaryTraceStream(path, name=name)
+    records: List[MemoryAccess] = []
+    for chunk in stream.iter_chunks():
+        records.extend(chunk)
+    return MaterializedTrace(records, name=stream.name)

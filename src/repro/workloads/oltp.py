@@ -294,11 +294,9 @@ def _restamp_instruction_counts(accesses: List[MemoryAccess]) -> Iterator[Memory
     counter monotonic while preserving the transaction's total instruction
     budget and its distribution.
     """
-    from dataclasses import replace
-
     counts = sorted(access.instruction_count for access in accesses)
     for access, count in zip(accesses, counts):
-        yield replace(access, instruction_count=count)
+        yield access._replace(instruction_count=count)
 
 
 def _interleave_operations(

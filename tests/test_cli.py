@@ -92,7 +92,76 @@ class TestExperimentCommand:
         assert "system parameters" in output
         assert "application suite" in output
 
-    def test_small_figure_run(self, capsys):
-        exit_code = main(["experiment", "--figure", "fig10", "--scale", "0.08", "--cpus", "2"])
+    def test_small_figure_run(self, tmp_path, capsys):
+        exit_code = main(
+            ["experiment", "--figure", "fig10", "--scale", "0.08", "--cpus", "2",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
         assert exit_code == 0
-        assert "region_size" in capsys.readouterr().out
+        output = capsys.readouterr().out
+        assert "region_size" in output
+        assert "sweep cache:" in output
+
+    def test_no_cache_suppresses_cache(self, capsys):
+        exit_code = main(
+            ["experiment", "--figure", "fig10", "--scale", "0.08", "--cpus", "2", "--no-cache"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "region_size" in output
+        assert "sweep cache:" not in output
+
+    def test_warm_cache_reuses_results(self, tmp_path, capsys):
+        argv = ["experiment", "--figure", "fig10", "--scale", "0.08", "--cpus", "2",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 hit(s)" in cold
+        assert "0 miss(es)" in warm
+        # Identical figure rows either way.
+        assert warm.split("sweep cache:")[0] == cold.split("sweep cache:")[0]
+
+
+class TestConvertCommand:
+    def test_text_to_binary_and_back(self, tmp_path, capsys):
+        text = tmp_path / "t.trace"
+        main(["trace", "--workload", "sparse", "--output", str(text),
+              "--cpus", "2", "--accesses-per-cpu", "300"])
+        capsys.readouterr()
+        binary = tmp_path / "t.strc.gz"
+        assert main(["convert", "--input", str(text), "--output", str(binary)]) == 0
+        assert "converted 600 records" in capsys.readouterr().out
+        back = tmp_path / "back.trace"
+        assert main(["convert", "--input", str(binary), "--output", str(back)]) == 0
+        assert back.read_text() == text.read_text()
+
+    def test_in_place_convert_refused(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        path.write_text("0 U R 400 1000 5\n")
+        assert main(["convert", "--input", str(path), "--output", str(path)]) == 1
+        assert "same file" in capsys.readouterr().err
+        assert path.read_text() == "0 U R 400 1000 5\n"  # source untouched
+
+    def test_failed_convert_preserves_existing_output(self, tmp_path, capsys):
+        output = tmp_path / "precious.trace"
+        output.write_text("0 U R 400 1000 5\n")
+        missing = tmp_path / "missing.trace"
+        assert main(["convert", "--input", str(missing), "--output", str(output)]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert output.read_text() == "0 U R 400 1000 5\n"
+        assert list(tmp_path.iterdir()) == [output]  # no temp leftovers
+
+    def test_malformed_input_preserves_existing_output(self, tmp_path, capsys):
+        output = tmp_path / "out.strc"
+        main(["trace", "--workload", "sparse", "--output", str(tmp_path / "ok.trace"),
+              "--cpus", "1", "--accesses-per-cpu", "100"])
+        main(["convert", "--input", str(tmp_path / "ok.trace"), "--output", str(output)])
+        good = output.read_bytes()
+        capsys.readouterr()
+        bad = tmp_path / "bad.trace"
+        bad.write_text("0 U R 400 1000 5\nnot a record\n")
+        assert main(["convert", "--input", str(bad), "--output", str(output)]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert output.read_bytes() == good  # previous conversion intact

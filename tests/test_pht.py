@@ -22,6 +22,39 @@ class TestStableHash:
     def test_non_tuple_keys(self):
         assert isinstance(stable_hash(42), int)
 
+    #: Hash values produced by the original repr()-based FNV-1a mix.  The
+    #: fast integer/tuple path must reproduce them exactly: PHT set selection
+    #: is `stable_hash(key) % num_sets`, so any change to these values would
+    #: silently re-place every pattern and perturb all figure results.
+    PINNED = {
+        42: 0x7ee7e07b4b19223,
+        0: 0xaf63ad4c86019caf,
+        -7: 0x7d01107b497db5d,
+        123456789: 0x6d5573923c6cdfc,
+        "pc+off": 0x1045b7e0f273a57e,
+        ("pc+off", 0x400, 5): 0x9a94092f564bfbec,
+        ("pc", 1): 0xe1dc5a6d36441fd7,
+        ("pc", 2): 0xe1dc5b6d3644218a,
+        (0x7FFF0000, 31): 0x20e729ee08db8132,
+        ("rot", -3, "x"): 0xad0bfa3374cdcba4,
+        (): 0xCBF29CE484222325,
+        ("a",): 0xA8DE4417BF44D6A6,
+        ("pc+off", 1048576, 0): 0xBD1777F87ADB1E81,
+    }
+
+    def test_pinned_values_reproduced(self):
+        for key, expected in self.PINNED.items():
+            assert stable_hash(key) == expected, key
+
+    def test_equal_but_differently_typed_keys_hash_by_encoding(self):
+        # The memo keys on equality but the encoding on repr; keys outside
+        # the int/str domain must bypass the cache so results never depend
+        # on call order: ("pc", 1) and ("pc", True) compare equal yet hash
+        # differently, in either order.
+        assert stable_hash(("pc", 1)) == self.PINNED[("pc", 1)]
+        assert stable_hash(("pc", True)) != stable_hash(("pc", 1))
+        assert stable_hash((1.0,)) != stable_hash((1,))
+
 
 class TestConstruction:
     def test_invalid_entries(self):

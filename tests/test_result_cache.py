@@ -1,0 +1,193 @@
+"""Tests for repro.simulation.result_cache (sweep result memoization)."""
+
+import pickle
+
+import pytest
+
+from repro.simulation.result_cache import (
+    CacheStats,
+    SweepResultCache,
+    code_fingerprint,
+    default_cache,
+    set_default_cache,
+)
+from repro.simulation.sweep import SweepRunner, SweepTask, sweep_map
+
+
+def square(value, offset=0):
+    """Module-level so tasks have a stable importable identity."""
+    return value * value + offset
+
+
+CALLS = []
+
+
+def tracked(value):
+    CALLS.append(value)
+    return value + 100
+
+
+@pytest.fixture(autouse=True)
+def _clean_ambient():
+    yield
+    # Tests must not leak an ambient cache into the rest of the suite.
+    import repro.simulation.result_cache as module
+
+    module._ambient_cache = module._AMBIENT_UNSET
+
+
+class TestFingerprint:
+    def test_same_task_same_digest(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        a = cache.fingerprint(square, (3,), {"offset": 1})
+        b = cache.fingerprint(square, (3,), {"offset": 1})
+        assert a == b is not None
+
+    def test_different_args_different_digest(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        assert cache.fingerprint(square, (3,), {}) != cache.fingerprint(square, (4,), {})
+        assert cache.fingerprint(square, (3,), {}) != cache.fingerprint(square, (3,), {"offset": 1})
+
+    def test_type_tagged_encoding(self, tmp_path):
+        # 1 and 1.0 and "1" must not collide.
+        cache = SweepResultCache(tmp_path)
+        digests = {
+            cache.fingerprint(square, (1,), {}),
+            cache.fingerprint(square, (1.0,), {}),
+            cache.fingerprint(square, ("1",), {}),
+        }
+        assert len(digests) == 3
+
+    def test_lambda_is_uncacheable(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        assert cache.fingerprint(lambda v: v, (1,), {}) is None
+        assert cache.stats.skipped == 1
+
+    def test_unencodable_argument_is_uncacheable(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        assert cache.fingerprint(square, (object(),), {}) is None
+
+    def test_code_fingerprint_is_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestStore:
+    def test_get_put_roundtrip(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        digest = cache.fingerprint(square, (5,), {})
+        hit, _ = cache.get(digest)
+        assert not hit
+        cache.put(digest, {"answer": 25})
+        hit, value = cache.get(digest)
+        assert hit and value == {"answer": 25}
+        assert cache.stats == CacheStats(hits=1, misses=1, stores=1)
+
+    def test_corrupt_entry_treated_as_miss_and_removed(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        digest = cache.fingerprint(square, (5,), {})
+        cache.put(digest, 25)
+        (tmp_path / f"{digest}.pkl").write_bytes(b"not a pickle")
+        with pytest.warns(RuntimeWarning, match="unreadable sweep cache entry"):
+            hit, _ = cache.get(digest)
+        assert not hit
+        assert not (tmp_path / f"{digest}.pkl").exists()
+
+    def test_clear(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        for value in (1, 2, 3):
+            cache.put(cache.fingerprint(square, (value,), {}), value)
+        assert cache.clear() == 3
+        assert cache.clear() == 0
+
+
+class TestRunnerIntegration:
+    def test_second_sweep_hits_without_executing(self, tmp_path):
+        CALLS.clear()
+        cache = SweepResultCache(tmp_path)
+        first = SweepRunner(cache=cache).map(tracked, [1, 2, 3])
+        assert first == [101, 102, 103]
+        assert CALLS == [1, 2, 3]
+        second = SweepRunner(cache=SweepResultCache(tmp_path)).map(tracked, [1, 2, 3])
+        assert second == first
+        assert CALLS == [1, 2, 3]  # nothing re-executed
+
+    def test_partial_hits_execute_only_misses(self, tmp_path):
+        CALLS.clear()
+        cache = SweepResultCache(tmp_path)
+        SweepRunner(cache=cache).map(tracked, [1, 2])
+        CALLS.clear()
+        results = SweepRunner(cache=SweepResultCache(tmp_path)).map(tracked, [1, 2, 3, 4])
+        assert results == [101, 102, 103, 104]
+        assert CALLS == [3, 4]
+
+    def test_parallel_sweep_uses_cache(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        items = list(range(8))
+        parallel = SweepRunner(max_workers=2, cache=cache).map(square, items, offset=3)
+        assert parallel == [square(i, offset=3) for i in items]
+        warm_cache = SweepResultCache(tmp_path)
+        warm = SweepRunner(max_workers=2, cache=warm_cache).map(square, items, offset=3)
+        assert warm == parallel
+        assert warm_cache.stats.hits == len(items)
+
+    def test_uncacheable_tasks_still_run(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        results = SweepRunner(cache=cache).map(lambda v: v * 2, [1, 2])
+        assert results == [2, 4]
+        assert cache.stats.skipped == 2
+
+    def test_task_error_is_not_cached(self, tmp_path):
+        def boom(value):
+            raise RuntimeError("boom")
+
+        boom.__qualname__ = "boom"  # keep it cacheable-looking
+        cache = SweepResultCache(tmp_path)
+        with pytest.raises(RuntimeError):
+            SweepRunner(cache=cache).run([SweepTask(key=1, fn=square, args=(1,)),
+                                          SweepTask(key=2, fn=boom, args=(2,))])
+        # Nothing was stored for the failing sweep's tasks beyond completed ones.
+        assert cache.stats.stores == 0
+
+    def test_sweep_map_accepts_cache(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        assert sweep_map(square, [2, 3], cache=cache) == [4, 9]
+        assert cache.stats.stores == 2
+
+
+class TestAmbientDefault:
+    def test_default_is_disabled(self):
+        assert default_cache() is None
+
+    def test_env_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = default_cache()
+        assert cache is not None
+        assert cache.directory == tmp_path
+
+    def test_set_default_cache_overrides_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "1")
+        set_default_cache(None)
+        assert default_cache() is None
+        explicit = SweepResultCache(tmp_path)
+        set_default_cache(explicit)
+        assert default_cache() is explicit
+
+    def test_runner_picks_up_ambient(self, tmp_path):
+        ambient = SweepResultCache(tmp_path)
+        set_default_cache(ambient)
+        assert SweepRunner().cache is ambient
+        set_default_cache(None)
+        assert SweepRunner().cache is None
+
+    def test_set_default_cache_returns_restorable_token(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        scoped = SweepResultCache(tmp_path / "scoped")
+        previous = set_default_cache(scoped)
+        assert default_cache() is scoped
+        set_default_cache(previous)
+        # Restored to "never configured": the env default applies again.
+        restored = default_cache()
+        assert restored is not None and restored.directory == tmp_path

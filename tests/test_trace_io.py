@@ -96,6 +96,33 @@ class TestStreaming:
         assert FileTraceStream(path, name="custom").name == "custom"
 
 
+class TestCountRecords:
+    def test_counts_records_skipping_blanks_and_comments(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n0 U R 400 1000 5\n0 U R 404 1040 6\n\n# tail\n")
+        assert FileTraceStream(path).count_records() == 2
+
+    def test_count_does_not_parse_fields(self, tmp_path):
+        # Counting classifies lines only; malformed fields must not raise.
+        path = tmp_path / "trace.txt"
+        path.write_text("0 U R 400 1000 5\nthis is not a record\n")
+        assert FileTraceStream(path).count_records() == 2
+
+    def test_count_is_cached(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, _sample_records())
+        stream = FileTraceStream(path)
+        assert stream.count_records() == 3
+        path.unlink()  # cached: no re-read
+        assert stream.count_records() == 3
+        assert stream.length_hint() == 3
+
+    def test_explicit_length_wins(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, _sample_records())
+        assert FileTraceStream(path, length=7).count_records() == 7
+
+
 class TestGzip:
     def test_gzip_roundtrip(self, tmp_path):
         path = tmp_path / "trace.txt.gz"

@@ -80,10 +80,42 @@ class TestMemoryAccess:
         b = MemoryAccess(pc=1, address=2, instruction_count=99)
         assert a == b
 
+    def test_not_equal_to_raw_field_tuple(self):
+        access = MemoryAccess(pc=1, address=2, cpu=3, instruction_count=4)
+        raw = tuple(access)
+        assert access != raw
+        assert raw != access
+        assert access != None  # noqa: E711 - exercising __eq__ fallback
+
     def test_frozen(self):
         access = MemoryAccess(pc=0, address=0)
         with pytest.raises(AttributeError):
             access.pc = 5
+
+    def test_pickle_roundtrip_preserves_all_fields(self):
+        import pickle
+
+        access = MemoryAccess(
+            pc=0x400, address=0x1000, access_type=AccessType.WRITE,
+            cpu=3, mode=ExecutionMode.SYSTEM, instruction_count=99,
+        )
+        restored = pickle.loads(pickle.dumps(access))
+        assert restored.access_type is AccessType.WRITE
+        assert restored.mode is ExecutionMode.SYSTEM
+        assert restored.instruction_count == 99
+        assert restored == access
+
+    def test_deepcopy_preserves_all_fields(self):
+        import copy
+
+        access = MemoryAccess(
+            pc=1, address=2, access_type=AccessType.WRITE,
+            mode=ExecutionMode.SYSTEM, instruction_count=7,
+        )
+        duplicate = copy.deepcopy(access)
+        assert duplicate.is_write
+        assert duplicate.mode is ExecutionMode.SYSTEM
+        assert duplicate.instruction_count == 7
 
 
 class TestConvenienceConstructors:
