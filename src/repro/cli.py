@@ -50,10 +50,17 @@ from repro.simulation import SimulationConfig, SimulationEngine, TimingModel
 from repro.trace.reader import write_trace
 from repro.workloads.suite import APPLICATION_NAMES, make_workload
 
-#: Prefetcher factories selectable from the command line.
-PREFETCHER_CHOICES: Dict[str, Callable[[], Callable[[int], object]]] = {
+#: Prefetcher factories selectable from the command line.  ``sms`` accepts
+#: the PHT backend/shard overrides so there is one construction site.
+PREFETCHER_CHOICES: Dict[str, Callable[..., Callable[[int], object]]] = {
     "none": lambda: (lambda cpu: NullPrefetcher()),
-    "sms": lambda: (lambda cpu: SpatialMemoryStreaming(SMSConfig.paper_practical())),
+    "sms": lambda pht_backend="dict", pht_shards=1: (
+        lambda cpu: SpatialMemoryStreaming(
+            SMSConfig.paper_practical().replace(
+                pht_backend=pht_backend, pht_shards=pht_shards
+            )
+        )
+    ),
     "ghb": lambda: (lambda cpu: GlobalHistoryBuffer(GHBConfig(buffer_entries=256))),
     "ghb-16k": lambda: (lambda cpu: GlobalHistoryBuffer(GHBConfig(buffer_entries=16384))),
     "stride": lambda: (lambda cpu: StridePrefetcher(degree=4)),
@@ -74,6 +81,30 @@ def _nonnegative_int(value: str) -> int:
     return workers
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {parsed}")
+    return parsed
+
+
+def _add_pht_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.core.pht import PHT_BACKENDS
+
+    parser.add_argument(
+        "--pht-backend",
+        choices=PHT_BACKENDS,
+        default="dict",
+        help="PHT storage backend (dict: boxed reference; array/mmap: packed slabs)",
+    )
+    parser.add_argument(
+        "--pht-shards",
+        type=_positive_int,
+        default=1,
+        help="partition the PHT sets across N backend shards",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -87,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--cpus", type=int, default=4)
     simulate.add_argument("--accesses-per-cpu", type=int, default=10_000)
     simulate.add_argument("--seed", type=int, default=1)
+    _add_pht_backend_arguments(simulate)
 
     trace = subparsers.add_parser("trace", help="generate a workload trace file")
     trace.add_argument("--workload", choices=APPLICATION_NAMES, required=True)
@@ -115,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="sweep result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-sms)",
     )
+    experiment.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="regenerate synthetic traces instead of replaying cached .strc files",
+    )
+    _add_pht_backend_arguments(experiment)
 
     convert = subparsers.add_parser(
         "convert", help="convert a trace between the text and binary formats"
@@ -140,7 +178,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
     # arbitrarily long traces are simulated without ever materializing them.
     baseline = SimulationEngine(config, name="baseline").run(workload)
     baseline.workload = workload.metadata
-    engine = SimulationEngine(config, PREFETCHER_CHOICES[args.prefetcher](), name=args.prefetcher)
+    if args.prefetcher == "sms":
+        factory = PREFETCHER_CHOICES["sms"](args.pht_backend, args.pht_shards)
+    else:
+        factory = PREFETCHER_CHOICES[args.prefetcher]()
+    engine = SimulationEngine(config, factory, name=args.prefetcher)
     result = engine.run(workload)
     result.workload = workload.metadata
 
@@ -241,10 +283,20 @@ def _command_experiment(args: argparse.Namespace) -> int:
         "fig12": fig12_speedup,
         "fig13": fig13_breakdown,
     }
+    # --pht-backend/--pht-shards select the PHT storage the two storage
+    # sweeps run on; the other figures use the config default.
+    pht_kwargs = {}
+    if args.figure in ("fig07", "fig09"):
+        pht_kwargs = {"backend": args.pht_backend, "pht_shards": args.pht_shards}
+    elif args.pht_backend != "dict" or args.pht_shards != 1:
+        print(
+            "note: --pht-backend/--pht-shards only affect fig07 and fig09; ignoring",
+            file=sys.stderr,
+        )
     runners = {
         figure: (
             lambda module=module: module.run(
-                scale=args.scale, num_cpus=args.cpus, workers=args.workers
+                scale=args.scale, num_cpus=args.cpus, workers=args.workers, **pht_kwargs
             )
         )
         for figure, module in modules.items()
@@ -256,14 +308,38 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print(applications.to_text())
         return 0
 
-    from repro.simulation.result_cache import SweepResultCache, set_default_cache
+    import os
+
+    from repro.experiments import common as experiments_common
+    from repro.simulation.result_cache import CACHE_DIR_ENV, SweepResultCache, set_default_cache
 
     cache = None if args.no_cache else SweepResultCache(directory=args.cache_dir)
     previous = set_default_cache(cache)
+    # Trace caching is on by default for CLI sweeps (--no-trace-cache to
+    # disable).  Both the enable flag and --cache-dir are also exported via
+    # the environment: the in-process override does not survive into
+    # spawn/forkserver sweep workers, but inherited environments do, so
+    # workers replay cached .strc traces regardless of start method.
+    previous_trace = experiments_common.set_trace_cache(not args.no_trace_cache)
+    previous_trace_env = os.environ.get(experiments_common.TRACE_CACHE_ENV)
+    os.environ[experiments_common.TRACE_CACHE_ENV] = "0" if args.no_trace_cache else "1"
+    previous_dir = os.environ.get(CACHE_DIR_ENV)
+    if args.cache_dir:
+        os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
     try:
         table = runners[args.figure]()
     finally:
         set_default_cache(previous)
+        experiments_common.set_trace_cache(previous_trace)
+        if previous_trace_env is None:
+            os.environ.pop(experiments_common.TRACE_CACHE_ENV, None)
+        else:
+            os.environ[experiments_common.TRACE_CACHE_ENV] = previous_trace_env
+        if args.cache_dir:
+            if previous_dir is None:
+                os.environ.pop(CACHE_DIR_ENV, None)
+            else:
+                os.environ[CACHE_DIR_ENV] = previous_dir
     print(table.to_text())
     if cache is not None:
         stats = cache.stats

@@ -2,11 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.region import RegionGeometry
 from repro.simulation.config import SimulationConfig
 from repro.trace.record import AccessType, MemoryAccess
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache_dir(tmp_path_factory):
+    """Point every on-disk cache (sweep results, traces) at a temp directory.
+
+    CLI invocations under test enable the trace cache by default; without
+    this the suite would write into the user's real ``~/.cache/repro-sms``.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -37,6 +37,66 @@ class TestTraceBuilding:
             common.representative_trace("HPC")
 
 
+class TestTraceDiskCache:
+    @pytest.fixture
+    def enabled_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        previous = common.set_trace_cache(True)
+        common._cached_trace.cache_clear()
+        yield tmp_path
+        common.set_trace_cache(previous)
+        common._cached_trace.cache_clear()
+
+    def test_disabled_by_default_in_library_use(self):
+        assert not common.trace_cache_enabled()
+
+    def test_env_variable_enables(self, monkeypatch):
+        monkeypatch.setenv(common.TRACE_CACHE_ENV, "1")
+        assert common.trace_cache_enabled()
+        previous = common.set_trace_cache(False)
+        try:
+            assert not common.trace_cache_enabled()  # explicit override wins
+        finally:
+            common.set_trace_cache(previous)
+
+    def test_miss_writes_strc_then_hit_replays_identically(self, enabled_cache):
+        generated, _ = common.build_trace("oltp-db2", num_cpus=2, scale=0.05)
+        files = list((enabled_cache / "traces").glob("oltp-db2-c2-*.strc"))
+        assert len(files) == 1
+        # Force the disk path: clear the in-process layer and rebuild.
+        common._cached_trace.cache_clear()
+        replayed, metadata = common.build_trace("oltp-db2", num_cpus=2, scale=0.05)
+        assert replayed == generated
+        assert metadata.name == "oltp-db2"
+
+    def test_corrupt_entry_regenerates(self, enabled_cache):
+        generated, _ = common.build_trace("em3d", num_cpus=2, scale=0.05)
+        (path,) = (enabled_cache / "traces").glob("em3d-*.strc")
+        path.write_bytes(b"garbage not a trace")
+        common._cached_trace.cache_clear()
+        with pytest.warns(RuntimeWarning):
+            replayed, _ = common.build_trace("em3d", num_cpus=2, scale=0.05)
+        assert replayed == generated
+
+    def test_stale_fingerprint_entries_pruned(self, enabled_cache):
+        stale = enabled_cache / "traces" / "sparse-c2-a1250-s7-0123456789abcdef.strc"
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_bytes(b"old fingerprint leftovers")
+        # Same key under a different seed must survive the prune.
+        other = enabled_cache / "traces" / "sparse-c2-a1250-s70-0123456789abcdef.strc"
+        other.write_bytes(b"different key")
+        common.build_trace("sparse", num_cpus=2, scale=0.05, seed=7)
+        assert not stale.exists()
+        assert other.exists()
+        assert len(list((enabled_cache / "traces").glob("sparse-c2-a1250-s7-*.strc"))) == 1
+
+    def test_key_includes_parameters(self, enabled_cache):
+        common.build_trace("ocean", num_cpus=2, scale=0.05, seed=7)
+        common.build_trace("ocean", num_cpus=2, scale=0.05, seed=8)
+        common.build_trace("ocean", num_cpus=1, scale=0.05, seed=7)
+        assert len(list((enabled_cache / "traces").glob("ocean-*.strc"))) == 3
+
+
 class TestFactories:
     def test_sms_factory(self):
         assert isinstance(common.sms_factory()(0), SpatialMemoryStreaming)

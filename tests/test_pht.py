@@ -73,6 +73,19 @@ class TestConstruction:
         with pytest.raises(ValueError):
             PatternHistoryTable(num_blocks=0)
 
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(num_blocks=32, backend="redis")
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(num_blocks=32, shards=0)
+
+    def test_repr_names_non_default_backend(self):
+        table = PatternHistoryTable(num_blocks=32, backend="array", shards=4)
+        assert "backend=array" in repr(table) and "x4" in repr(table)
+        assert "backend" not in repr(PatternHistoryTable(num_blocks=32))
+
 
 class TestBoundedTable:
     def test_store_and_lookup(self):

@@ -1,0 +1,404 @@
+"""Cross-backend equivalence tests for the PHT storage backends.
+
+The contract of :mod:`repro.core.pht` is that the ``dict``, ``array`` and
+``mmap`` backends — monolithic or sharded — are *bit-for-bit* interchangeable:
+identical lookup results, identical statistics counters, identical LRU
+victims.  Three layers of evidence:
+
+* golden-counter engine runs: every backend reproduces the pinned counters
+  of the existing workload/prefetcher golden configurations;
+* property-based operation-sequence equivalence: random store / lookup /
+  invalidate streams against the dict reference;
+* packed-layout properties: pattern round-trips at arbitrary widths and
+  stable shard routing under ``stable_hash``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SMSConfig, SpatialMemoryStreaming
+from repro.core.pattern import SpatialPattern
+from repro.core.pht import (
+    ArrayBackend,
+    MmapBackend,
+    PatternHistoryTable,
+    ShardedPHT,
+    make_pht_store,
+    stable_hash,
+)
+from repro.prefetch import GHBConfig, GlobalHistoryBuffer, NullPrefetcher
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationEngine
+
+# tests/ sits on sys.path under pytest's prepend import mode, so this works
+# for both `python -m pytest` and bare `pytest` invocations.
+from test_engine_goldens import COUNTER_FIELDS, GOLDENS
+from repro.workloads import make_workload
+
+#: (backend, shards) variants every equivalence test sweeps.  ``dict``/1 is
+#: the reference the goldens were produced with.
+BACKEND_VARIANTS = [
+    ("dict", 1),
+    ("array", 1),
+    ("mmap", 1),
+    ("dict", 4),
+    ("array", 4),
+    ("mmap", 3),
+]
+
+
+def _variant_id(variant):
+    backend, shards = variant
+    return f"{backend}x{shards}"
+
+
+def pattern(*offsets, width=32):
+    return SpatialPattern.from_offsets(width, offsets)
+
+
+# --------------------------------------------------------------------------- #
+# Golden-counter equivalence through the full engine
+# --------------------------------------------------------------------------- #
+def _prefetcher_factory(kind, backend, shards):
+    if kind == "none":
+        return lambda cpu: NullPrefetcher()
+    if kind == "ghb":
+        return lambda cpu: GlobalHistoryBuffer(GHBConfig(buffer_entries=256))
+    config = SMSConfig.paper_practical().replace(pht_backend=backend, pht_shards=shards)
+    return lambda cpu: SpatialMemoryStreaming(config)
+
+
+@pytest.mark.parametrize("variant", BACKEND_VARIANTS[1:], ids=_variant_id)
+@pytest.mark.parametrize("key", sorted(GOLDENS))
+def test_golden_counters_identical_on_every_backend(key, variant):
+    backend, shards = variant
+    workload_name, prefetcher = key.split("/")
+    workload = make_workload(workload_name, num_cpus=2, accesses_per_cpu=3000, seed=11)
+    engine = SimulationEngine(
+        SimulationConfig.small(num_cpus=2),
+        _prefetcher_factory(prefetcher, backend, shards),
+        name=f"{workload_name}-{prefetcher}-{backend}x{shards}",
+    )
+    result = engine.run(workload)
+    expected = GOLDENS[key]
+    actual = {f: getattr(result, f) for f in COUNTER_FIELDS}
+    actual["traffic_total_bytes"] = result.traffic.total_bytes
+    actual["traffic_useful_bytes"] = result.traffic.useful_bytes
+    assert actual == expected
+
+
+# --------------------------------------------------------------------------- #
+# Operation-sequence equivalence against the dict reference
+# --------------------------------------------------------------------------- #
+#: op = (kind, key-id, pattern-id); the tiny key space forces set conflicts,
+#: LRU evictions, and invalidate-of-present cases.
+_OP = st.tuples(
+    st.sampled_from(["store", "lookup", "probe", "invalidate"]),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=2**16 - 1),
+)
+
+
+def _tables(num_entries):
+    return [
+        PatternHistoryTable(
+            num_blocks=16,
+            num_entries=num_entries,
+            associativity=4 if num_entries else 16,
+            backend=backend,
+            shards=shards,
+        )
+        for backend, shards in BACKEND_VARIANTS
+    ]
+
+
+def _apply(table, op, key_id, bits):
+    key = ("pc+off", 0x400 + 4 * (key_id % 7), key_id)
+    if op == "store":
+        table.store(key, SpatialPattern(num_blocks=16, bits=bits))
+        return None
+    return getattr(table, op)(key)
+
+
+class TestOperationSequenceEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=st.lists(_OP, min_size=1, max_size=120))
+    def test_bounded_tables_agree(self, ops):
+        reference, *others = _tables(num_entries=32)
+        for op, key_id, bits in ops:
+            bits &= (1 << 16) - 1
+            expected = _apply(reference, op, key_id, bits)
+            for table in others:
+                assert _apply(table, op, key_id, bits) == expected, (table.backend, op)
+        for table in others:
+            assert table.occupancy == reference.occupancy
+            assert (table.lookups, table.hits, table.stores, table.replacements) == (
+                reference.lookups,
+                reference.hits,
+                reference.stores,
+                reference.replacements,
+            )
+            assert sorted(p.bits for p in table.iter_patterns()) == sorted(
+                p.bits for p in reference.iter_patterns()
+            )
+            table.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=st.lists(_OP, min_size=1, max_size=120))
+    def test_unbounded_tables_agree(self, ops):
+        reference, *others = _tables(num_entries=None)
+        for op, key_id, bits in ops:
+            bits &= (1 << 16) - 1
+            expected = _apply(reference, op, key_id, bits)
+            for table in others:
+                assert _apply(table, op, key_id, bits) == expected, (table.backend, op)
+        for table in others:
+            assert table.occupancy == reference.occupancy
+            assert table.replacements == 0
+            table.close()
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(_OP, min_size=1, max_size=100))
+    def test_occupancy_matches_live_entry_count(self, ops):
+        # The incrementally tracked occupancy must equal an actual recount.
+        for backend, shards in [("dict", 1), ("array", 2), ("mmap", 1)]:
+            table = PatternHistoryTable(
+                num_blocks=16, num_entries=32, associativity=4, backend=backend, shards=shards
+            )
+            for op, key_id, bits in ops:
+                _apply(table, op, key_id, bits & 0xFFFF)
+            assert table.occupancy == sum(1 for _ in table.iter_patterns())
+            table.close()
+
+
+# --------------------------------------------------------------------------- #
+# Packed layout properties
+# --------------------------------------------------------------------------- #
+class TestPackedRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        num_blocks=st.integers(min_value=1, max_value=130),
+        data=st.data(),
+        backend=st.sampled_from(["array", "mmap"]),
+        unbounded=st.booleans(),
+    )
+    def test_pattern_bits_round_trip(self, num_blocks, data, backend, unbounded):
+        # Widths that are not byte multiples (1, 9, 130, ...) must round-trip
+        # exactly through the little-endian packed lanes.
+        bits = data.draw(st.integers(min_value=0, max_value=(1 << num_blocks) - 1))
+        table = PatternHistoryTable(
+            num_blocks=num_blocks,
+            num_entries=None if unbounded else 8,
+            associativity=2,
+            backend=backend,
+        )
+        key = ("pc+off", 0x400, 3)
+        table.store(key, SpatialPattern(num_blocks=num_blocks, bits=bits))
+        assert table.probe(key).bits == bits
+        assert table.lookup(key).bits == bits
+        assert table.invalidate(key).bits == bits
+        assert table.probe(key) is None
+        table.close()
+
+    def test_bounded_packed_storage_is_flat(self):
+        # The acceptance criterion's "no per-entry boxed pattern objects":
+        # a filled bounded packed table owns exactly three flat slabs whose
+        # byte sizes are a function of geometry, not of content.
+        store = make_pht_store(
+            "array", num_blocks=32, num_sets=16, associativity=4, unbounded=False
+        )
+        assert isinstance(store, ArrayBackend)
+        for i in range(200):
+            store.store(stable_hash(("pc", i)) % 16, stable_hash(("pc", i)), ("pc", i), i & 0xFFFF_FFFF, False)
+        assert len(store._tags) == 64
+        assert len(store._stamps) == 64
+        assert len(store._pats) == 64 * 4  # 32-bit patterns -> 4 bytes/entry
+        assert store.occupancy <= 64
+
+    def test_mmap_close_releases_file(self):
+        backend = MmapBackend(num_blocks=32, num_sets=4, associativity=4, unbounded=False)
+        backend.store(0, 12345, "k", 7, False)
+        assert backend.lookup(0, 12345, "k", touch=False) == 7
+        backend.close()
+        backend.close()  # idempotent
+
+    def test_mmap_explicit_path_persists(self, tmp_path):
+        path = tmp_path / "pht.mmap"
+        backend = MmapBackend(
+            num_blocks=32, num_sets=4, associativity=4, unbounded=False, path=path
+        )
+        backend.store(1, 99, "k", 0xAB, False)
+        backend.close()
+        assert path.exists()
+        assert path.stat().st_size == MmapBackend.HEADER.size + 16 * (16 + 4)
+        assert path.read_bytes()[:4] == MmapBackend.MAGIC
+
+    def test_mmap_explicit_path_warm_starts(self, tmp_path):
+        # A matching file is reloaded in place: entries, occupancy, and LRU
+        # order all survive; the recency clock resumes past stored stamps.
+        path = tmp_path / "pht.mmap"
+        first = MmapBackend(
+            num_blocks=32, num_sets=1, associativity=2, unbounded=False, path=path
+        )
+        first.store(0, 11, "a", 0x0A, False)
+        first.store(0, 22, "b", 0x0B, False)
+        first.lookup(0, 11, "a", touch=True)  # "b" becomes the LRU victim
+        first.close()
+        second = MmapBackend(
+            num_blocks=32, num_sets=1, associativity=2, unbounded=False, path=path
+        )
+        assert second.occupancy == 2
+        assert second.lookup(0, 11, "a", touch=False) == 0x0A
+        assert second.lookup(0, 22, "b", touch=False) == 0x0B
+        assert second.store(0, 33, "c", 0x0C, False) is True  # evicts LRU...
+        assert second.lookup(0, 22, "b", touch=False) is None  # ...which is "b"
+        assert second.lookup(0, 11, "a", touch=False) == 0x0A
+        second.close()
+
+    def test_mmap_wrong_geometry_resets_file(self, tmp_path):
+        path = tmp_path / "pht.mmap"
+        path.write_bytes(b"\xff" * 123)  # wrong size: must be zeroed, not read
+        backend = MmapBackend(
+            num_blocks=32, num_sets=4, associativity=4, unbounded=False, path=path
+        )
+        assert backend.occupancy == 0
+        assert backend.lookup(0, 1, "k", touch=False) is None
+        backend.close()
+
+    def test_mmap_same_size_different_geometry_not_reused(self, tmp_path):
+        # 20 slots of 96-block patterns and 28 slots of 32-block patterns
+        # have the same payload size; the geometry header must tell them
+        # apart rather than reinterpreting the lanes at wrong offsets.
+        path = tmp_path / "pht.mmap"
+        first = MmapBackend(
+            num_blocks=96, num_sets=10, associativity=2, unbounded=False, path=path
+        )
+        first.store(0, 7, "k", (1 << 90) | 1, False)
+        first.close()
+        second = MmapBackend(
+            num_blocks=32, num_sets=7, associativity=4, unbounded=False, path=path
+        )
+        assert second.occupancy == 0  # fresh, not a misread warm start
+        assert second.lookup(0, 7, "k", touch=False) is None
+        second.close()
+
+    def test_table_level_mmap_path_warm_starts(self, tmp_path):
+        # The public plumbing: PatternHistoryTable(mmap_path=...) survives a
+        # close/reopen with entries intact; sharded tables fan out to
+        # per-shard files derived from the stem.
+        path = tmp_path / "pht.mmap"
+        first = PatternHistoryTable(
+            num_blocks=32, num_entries=64, associativity=4,
+            backend="mmap", shards=2, mmap_path=path,
+        )
+        for i in range(40):
+            first.store(("pc", i), pattern(i % 32))
+        stored = sorted(p.bits for p in first.iter_patterns())
+        occupancy = first.occupancy
+        first.close()
+        assert (tmp_path / "pht-shard0.mmap").exists()
+        assert (tmp_path / "pht-shard1.mmap").exists()
+        second = PatternHistoryTable(
+            num_blocks=32, num_entries=64, associativity=4,
+            backend="mmap", shards=2, mmap_path=path,
+        )
+        assert second.occupancy == occupancy
+        assert sorted(p.bits for p in second.iter_patterns()) == stored
+        assert second.probe(("pc", 39)) == pattern(39 % 32)
+        second.close()
+
+    def test_repartitioned_shard_file_not_reused(self, tmp_path):
+        # Shard 0 of (32 entries, 2 shards) and shard 0 of (64 entries,
+        # 4 shards) have identical local shape (16 slots) but route keys
+        # differently; the header's global/shard fields must force a reset.
+        path = tmp_path / "pht.mmap"
+        first = PatternHistoryTable(
+            num_blocks=32, num_entries=32, associativity=4,
+            backend="mmap", shards=2, mmap_path=path,
+        )
+        for i in range(24):
+            first.store(("pc", i), pattern(i % 32))
+        first.close()
+        second = PatternHistoryTable(
+            num_blocks=32, num_entries=64, associativity=4,
+            backend="mmap", shards=4, mmap_path=path,
+        )
+        assert second.occupancy == 0  # fresh, not stale entries in wrong sets
+        second.close()
+
+    def test_mmap_path_rejected_for_other_backends(self, tmp_path):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(
+                num_blocks=32, backend="array", mmap_path=tmp_path / "x.mmap"
+            )
+
+    def test_unbounded_packed_grows(self):
+        for backend in ("array", "mmap"):
+            table = PatternHistoryTable(num_blocks=32, num_entries=None, backend=backend)
+            for i in range(5000):
+                table.store(("pc", i), pattern(i % 32))
+            assert table.occupancy == 5000
+            assert table.replacements == 0
+            assert table.probe(("pc", 4321)) == pattern(4321 % 32)
+            table.close()
+
+
+# --------------------------------------------------------------------------- #
+# Shard routing
+# --------------------------------------------------------------------------- #
+class TestShardPartitioning:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        key_ids=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=150),
+        shards=st.integers(min_value=1, max_value=7),
+    )
+    def test_routing_is_stable_and_partitioned(self, key_ids, shards):
+        # Bounded: global set s lives on shard s % N — storing a key touches
+        # exactly the shard its stable_hash selects, every time.
+        store = make_pht_store(
+            "dict", num_blocks=32, num_sets=16, associativity=4, unbounded=False, shards=shards
+        )
+        if shards == 1:
+            return
+        assert isinstance(store, ShardedPHT)
+        for key_id in key_ids:
+            key = ("pc", key_id)
+            h = stable_hash(key)
+            set_index = h % 16
+            expected_shard = store.shards[set_index % shards]
+            before = expected_shard.occupancy
+            newly_inserted = store.lookup(set_index, h, key, touch=False) is None
+            store.store(set_index, h, key, key_id & 0xFFFF, False)
+            assert store.lookup(set_index, h, key, touch=False) == key_id & 0xFFFF
+            if newly_inserted:
+                assert expected_shard.occupancy >= before
+        assert store.occupancy == sum(shard.occupancy for shard in store.shards)
+
+    def test_many_keys_spread_across_shards(self):
+        table = PatternHistoryTable(
+            num_blocks=32, num_entries=None, backend="array", shards=4
+        )
+        for i in range(2000):
+            table.store(("pc", i), pattern(i % 32))
+        populated = [shard.occupancy for shard in table._store.shards]
+        assert sum(populated) == 2000
+        assert all(count > 0 for count in populated)
+        # Same keys re-stored do not create duplicates anywhere.
+        for i in range(2000):
+            table.store(("pc", i), pattern((i + 1) % 32))
+        assert table.occupancy == 2000
+
+    def test_sharded_lru_matches_monolithic(self):
+        # Deliberate conflict stream: same set, more keys than ways.
+        mono = PatternHistoryTable(num_blocks=32, num_entries=8, associativity=2)
+        shard = PatternHistoryTable(
+            num_blocks=32, num_entries=8, associativity=2, backend="array", shards=3
+        )
+        keys = [("pc", i) for i in range(64)]
+        for step, key in enumerate(keys * 3):
+            mono.store(key, pattern(step % 32))
+            shard.store(key, pattern(step % 32))
+            probe_key = keys[(step * 7) % len(keys)]
+            assert mono.lookup(probe_key) == shard.lookup(probe_key)
+        assert mono.replacements == shard.replacements
+        assert mono.occupancy == shard.occupancy

@@ -74,9 +74,8 @@ class TestStreamRequestInvariants:
             _drive(sms, 0x400 + 4 * pc_index, address)
             if index % 5 == 0:
                 sms.on_eviction(address, invalidated=True)
-        for table in sms.pht._sets + [sms.pht._unbounded]:
-            for pattern in table.values():
-                assert pattern.num_blocks == _BLOCKS
+        for pattern in sms.pht.iter_patterns():
+            assert pattern.num_blocks == _BLOCKS
 
     @settings(max_examples=40, deadline=None)
     @given(steps=st.lists(_STEP, min_size=2, max_size=150))

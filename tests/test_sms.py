@@ -124,6 +124,19 @@ class TestConfigurationVariants:
         sms = SpatialMemoryStreaming(SMSConfig.unbounded())
         assert sms.pht.is_unbounded
 
+    def test_pht_backend_flows_from_config(self):
+        sms = SpatialMemoryStreaming(SMSConfig(pht_backend="array", pht_shards=2))
+        assert sms.pht.backend == "array"
+        assert sms.pht.shards == 2
+
+    def test_invalid_pht_backend_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SMSConfig(pht_backend="redis")
+        with pytest.raises(ValueError):
+            SMSConfig(pht_shards=0)
+
     def test_ds_trainer_propagates_forced_evictions(self):
         config = SMSConfig(
             trainer="decoupled-sectored",
