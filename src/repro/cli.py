@@ -27,6 +27,20 @@ Three subcommands cover the common workflows without writing any Python:
     either direction — the target format follows the output file name::
 
         python -m repro.cli convert --input sparse.trace --output sparse.strc.gz
+
+``serve`` / ``submit``
+    Run the persistent simulation service (warm worker pool, request
+    coalescing — see :mod:`repro.serve`) and talk to it::
+
+        python -m repro.cli serve --socket /tmp/repro.sock --workers 4
+        python -m repro.cli submit --socket /tmp/repro.sock \
+            --verb simulate --arg workload=oltp-db2 --arg cpus=2
+
+``cache``
+    Inspect or prune the on-disk sweep-result and trace caches::
+
+        python -m repro.cli cache stats
+        python -m repro.cli cache prune
 """
 
 from __future__ import annotations
@@ -106,9 +120,14 @@ def _add_pht_backend_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Spatial Memory Streaming (ISCA 2006) reproduction tools",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -164,7 +183,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="destination trace; .strc/.strc.gz selects the binary format",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="run the persistent simulation service (see repro.serve)"
+    )
+    _add_endpoint_arguments(serve)
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="persistent worker processes kept warm between requests",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=8,
+        help="distinct in-flight jobs before requests get 'busy' replies",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="sweep/trace cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-sms)",
+    )
+    serve.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="regenerate synthetic traces in workers instead of replaying cached .strc files",
+    )
+    serve.add_argument(
+        "--scratch-dir",
+        default=None,
+        help="root for per-worker PHT mmap backing files (default: system temp)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="send one request to a running service and print the reply"
+    )
+    _add_endpoint_arguments(submit)
+    submit.add_argument(
+        "--verb",
+        choices=["simulate", "sweep", "experiment", "status", "cache_stats"],
+        help="request verb (or pass a full request with --request)",
+    )
+    submit.add_argument(
+        "--arg",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="request parameter; VALUE is parsed as JSON when possible "
+        "(repeatable, e.g. --arg workload=oltp-db2 --arg cpus=2)",
+    )
+    submit.add_argument(
+        "--request", default=None, help="raw JSON request object (overrides --verb/--arg)"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, help="per-request socket timeout (seconds)"
+    )
+    submit.add_argument(
+        "--retry-for",
+        type=float,
+        default=0.0,
+        help="keep retrying the initial connection for this many seconds",
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or prune the on-disk sweep/trace caches"
+    )
+    cache.add_argument("action", choices=["stats", "prune"])
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-sms)",
+    )
+
     return parser
+
+
+def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket", default=None, help="Unix socket path (overrides --host/--port)"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=_nonnegative_int, default=8642)
 
 
 # --------------------------------------------------------------------------- #
@@ -350,11 +449,128 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import SimulationServer, WorkerPool
+    from repro.simulation.result_cache import SweepResultCache
+
+    pool = WorkerPool(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        trace_cache=not args.no_trace_cache,
+        scratch_dir=args.scratch_dir,
+    )
+    server = SimulationServer(
+        pool,
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        max_queue=args.max_queue,
+        cache=SweepResultCache(directory=args.cache_dir),
+    )
+    print(
+        f"repro serve: listening on {server.address} "
+        f"({args.workers} worker(s), max_queue={args.max_queue}, "
+        f"cache {server.cache.directory})",
+        flush=True,
+    )
+    server.run()
+    print("repro serve: shut down cleanly")
+    return 0
+
+
+def _parse_submit_args(pairs: List[str]) -> dict:
+    import json
+
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--arg expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value  # bare strings need no quoting
+    return params
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    if args.request is not None:
+        try:
+            payload = json.loads(args.request)
+        except json.JSONDecodeError as exc:
+            print(f"error: --request is not valid JSON: {exc}", file=sys.stderr)
+            return 1
+        if not isinstance(payload, dict):
+            print("error: --request must be a JSON object", file=sys.stderr)
+            return 1
+    elif args.verb is not None:
+        try:
+            payload = {"verb": args.verb, **_parse_submit_args(args.arg)}
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        print("error: pass --verb or --request", file=sys.stderr)
+        return 1
+
+    client = ServeClient(
+        socket_path=args.socket, host=args.host, port=args.port, timeout=args.timeout
+    )
+    try:
+        client.connect(retry_for=args.retry_for)
+        try:
+            reply = client.request_raw(payload)
+        finally:
+            client.close()
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0 if reply.get("ok") else 1
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.simulation.result_cache import cache_overview, prune_cache
+
+    if args.action == "stats":
+        overview = cache_overview(args.cache_dir)
+        table = ResultTable(
+            title=f"cache statistics ({overview['directory']})",
+            headers=["cache", "entries", "bytes", "stale_entries", "stale_bytes", "temp_files"],
+        )
+        for name in ("sweep", "traces"):
+            section = overview[name]
+            table.add_row(
+                name,
+                section["entries"],
+                section["bytes"],
+                section["stale_entries"],
+                section["stale_bytes"],
+                section["temp_files"],
+            )
+        print(table.to_text())
+        return 0
+    removed = prune_cache(args.cache_dir)
+    print(
+        f"pruned {removed['sweep_entries']} stale sweep entr(ies), "
+        f"{removed['trace_entries']} stale trace(s), "
+        f"{removed['temp_files']} temp file(s)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "trace": _command_trace,
     "experiment": _command_experiment,
     "convert": _command_convert,
+    "serve": _command_serve,
+    "submit": _command_submit,
+    "cache": _command_cache,
 }
 
 

@@ -156,6 +156,45 @@ def stable_hash(key: Hashable) -> int:
 #: Backend names accepted by :class:`PatternHistoryTable` and ``SMSConfig``.
 PHT_BACKENDS = ("dict", "array", "mmap")
 
+#: Environment variable selecting where ``mmap`` backends place their
+#: backing files when the caller gives neither a ``path`` nor a ``dir``.
+PHT_DIR_ENV = "REPRO_PHT_DIR"
+
+#: Sentinel distinguishing "never configured" from "explicitly cleared".
+_MMAP_DIR_UNSET = object()
+_default_mmap_dir = _MMAP_DIR_UNSET
+
+
+def set_default_mmap_dir(path):
+    """Set (or, with ``None``, clear) the ambient mmap-backing directory.
+
+    Tables built without an explicit ``mmap_dir``/``mmap_path`` — which is
+    every table the engine constructs through :meth:`SMSConfig.make_pht` —
+    place their backing files here instead of the system temp directory.
+    Long-lived processes (the ``repro.serve`` worker pool gives each worker
+    its own scratch directory) use this to keep predictor mmap state on one
+    warm, process-private file set.  The files are anonymous temporaries:
+    no pattern state leaks between runs, so results stay bit-identical to a
+    cold run.
+
+    Returns an opaque token for the previous setting; pass it back to
+    restore (the same protocol as
+    :func:`repro.simulation.result_cache.set_default_cache`).
+    """
+    global _default_mmap_dir
+    previous = _default_mmap_dir
+    _default_mmap_dir = path
+    return previous
+
+
+def default_mmap_dir() -> Optional[Path]:
+    """Ambient mmap-backing directory: the explicit setting, else
+    ``$REPRO_PHT_DIR``, else ``None`` (system temp directory)."""
+    if _default_mmap_dir is not _MMAP_DIR_UNSET:
+        return Path(_default_mmap_dir) if _default_mmap_dir is not None else None
+    override = os.environ.get(PHT_DIR_ENV)
+    return Path(override).expanduser() if override else None
+
 
 # --------------------------------------------------------------------------- #
 # Storage backends
@@ -635,6 +674,10 @@ def make_pht_store(
         raise ValueError(f"shards must be positive, got {shards}")
     if mmap_path is not None and backend != "mmap":
         raise ValueError(f"mmap_path only applies to the mmap backend, got {backend!r}")
+    if backend == "mmap" and mmap_dir is None and mmap_path is None:
+        mmap_dir = default_mmap_dir()
+        if mmap_dir is not None:
+            Path(mmap_dir).mkdir(parents=True, exist_ok=True)
 
     def shard_path(index: int) -> Optional[Path]:
         if mmap_path is None:

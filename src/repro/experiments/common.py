@@ -32,7 +32,7 @@ from repro.prefetch import GHBConfig, GlobalHistoryBuffer, NullPrefetcher, Strid
 from repro.prefetch.base import Prefetcher
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import SimulationEngine, SimulationResult
-from repro.simulation.result_cache import code_fingerprint, default_cache_dir
+from repro.simulation.result_cache import TRACES_SUBDIR, code_fingerprint, default_cache_dir
 from repro.simulation.sweep import sweep_map
 from repro.trace.binary import BinaryTraceStream, write_trace_binary
 from repro.trace.record import MemoryAccess
@@ -112,7 +112,7 @@ def trace_cache_enabled() -> bool:
 
 def trace_cache_dir() -> Path:
     """Trace cache directory — ``traces/`` next to the sweep result cache."""
-    return default_cache_dir() / "traces"
+    return default_cache_dir() / TRACES_SUBDIR
 
 
 def _trace_cache_path(name: str, num_cpus: int, accesses_per_cpu: int, seed: int) -> Path:

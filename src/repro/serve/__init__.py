@@ -1,0 +1,47 @@
+"""A persistent simulation service: warm workers behind an asyncio front-end.
+
+``repro.serve`` turns the one-shot simulate/sweep/experiment workflows into
+a long-lived, stdlib-only service:
+
+* :mod:`repro.serve.server` — asyncio ndjson front-end (TCP or Unix
+  socket) with request coalescing, a result-cache fast path, and bounded
+  in-flight depth with ``busy`` backpressure;
+* :mod:`repro.serve.pool` — persistent forked worker pool with warm
+  trace/result caches and per-worker PHT mmap scratch directories;
+* :mod:`repro.serve.jobs` — verb registry; job identity is the same
+  content-addressed key the on-disk sweep cache uses, so the service and
+  ``repro.cli experiment`` share cache entries;
+* :mod:`repro.serve.client` — blocking client library;
+* :mod:`repro.serve.protocol` — the wire format.
+
+Start a server from the command line with ``repro.cli serve`` and talk to
+it with ``repro.cli submit`` or :class:`ServeClient`.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.pool import WorkerPool, WorkerSettings
+from repro.serve.protocol import (
+    BAD_REQUEST,
+    BUSY,
+    JOB_FAILED,
+    MAX_LINE,
+    VERBS,
+    WORKER_LOST,
+    ProtocolError,
+)
+from repro.serve.server import SimulationServer
+
+__all__ = [
+    "ServeClient",
+    "ServeError",
+    "WorkerPool",
+    "WorkerSettings",
+    "SimulationServer",
+    "ProtocolError",
+    "VERBS",
+    "MAX_LINE",
+    "BAD_REQUEST",
+    "BUSY",
+    "JOB_FAILED",
+    "WORKER_LOST",
+]

@@ -1,0 +1,303 @@
+"""Persistent multiprocess worker pool with warm per-worker state.
+
+Workers are forked once when the pool starts and stay resident between
+requests, so everything a cold ``repro.cli`` invocation pays for on every
+run is paid once per worker:
+
+* the imported package and its warmed ``lru_cache`` state — most
+  importantly :func:`repro.experiments.common._cached_trace`, which keeps
+  recently-used experiment traces decoded in memory;
+* the on-disk :class:`~repro.simulation.result_cache.SweepResultCache`
+  (installed as the worker's ambient default, so figure runners memoize
+  their per-item results) and the ``.strc`` trace cache;
+* a per-worker scratch directory for ``MmapBackend`` PHT backing files
+  (installed via :func:`repro.core.pht.set_default_mmap_dir`), so
+  mmap-backed predictor state for every request lands on one warm,
+  worker-private file set instead of scattered anonymous temp files.
+  Requests never *reuse* each other's PHT entries — results must stay
+  bit-identical to a cold run — only the placement is persistent.
+
+Each worker is paired with the parent over its own duplex
+:func:`multiprocessing.Pipe`.  A shared queue is deliberately avoided: a
+worker killed while holding a shared queue's feeder lock wedges every
+sibling, whereas a broken pipe is detected by exactly one
+:meth:`WorkerPool.execute` call, which respawns that worker and reports
+the loss to its caller alone.
+
+:meth:`WorkerPool.execute` is thread-safe and blocking — the asyncio
+front-end calls it from executor threads — and jobs queue implicitly:
+a call blocks until a worker is idle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import signal
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from repro.serve.protocol import JOB_FAILED, WORKER_LOST, ProtocolError
+
+
+@dataclass(frozen=True)
+class WorkerSettings:
+    """Picklable worker configuration (survives spawn as well as fork)."""
+
+    cache_dir: Optional[str] = None
+    trace_cache: bool = True
+    scratch_dir: Optional[str] = None
+
+
+def _worker_main(conn, index: int, settings: WorkerSettings) -> None:
+    """Worker loop: receive a normalized spec, execute, send (ok, payload).
+
+    Runs until the shutdown sentinel (``None``) or EOF on the pipe.  SIGINT
+    is ignored — a Ctrl-C in the foreground server delivers SIGINT to the
+    whole process group, and shutdown must stay coordinated by the parent
+    so results in flight are not lost.  SIGTERM is reset to its default:
+    the fork may have inherited the server's asyncio signal handler (or a
+    sweep's raising handler), and :meth:`WorkerPool.shutdown` must be able
+    to terminate a wedged worker with a plain SIGTERM.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+    from repro.core.pht import set_default_mmap_dir
+    from repro.experiments.common import set_trace_cache
+    from repro.serve import jobs
+    from repro.simulation.result_cache import (
+        CACHE_DIR_ENV,
+        SweepResultCache,
+        set_default_cache,
+    )
+
+    if settings.cache_dir:
+        os.environ[CACHE_DIR_ENV] = settings.cache_dir
+    # Ambient per-item memoization for experiment-verb figure runs.
+    set_default_cache(SweepResultCache())
+    set_trace_cache(settings.trace_cache)
+    if settings.scratch_dir:
+        worker_dir = Path(settings.scratch_dir) / f"worker{index}"
+        worker_dir.mkdir(parents=True, exist_ok=True)
+        set_default_mmap_dir(worker_dir)
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        try:
+            result = jobs.execute_spec(message)
+            reply = (True, result)
+        except Exception as exc:  # noqa: BLE001 - reported to the caller
+            reply = (False, f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (OSError, ValueError, TypeError) as exc:
+            # Unpicklable result or a vanished parent; report what we can.
+            try:
+                conn.send((False, f"could not return result: {exc}"))
+            except OSError:
+                break
+    _cleanup_own_temp_files(settings)
+    conn.close()
+
+
+def _cleanup_own_temp_files(settings: WorkerSettings) -> None:
+    """Drop this pid's temp trace-cache files on clean worker exit."""
+    try:
+        from repro.experiments.common import trace_cache_dir
+
+        pattern = f".tmp-{os.getpid()}-*"
+        for path in trace_cache_dir().glob(pattern):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    except Exception:  # noqa: BLE001 - cleanup must never mask the exit path
+        pass
+
+
+class _WorkerHandle:
+    """Parent-side record of one worker process and its pipe end."""
+
+    def __init__(self, process, conn, index: int) -> None:
+        self.process = process
+        self.conn = conn
+        self.index = index
+        self.jobs_done = 0
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent, warm simulation workers."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: Optional[str] = None,
+        trace_cache: bool = True,
+        scratch_dir: Optional[str] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.num_workers = workers
+        self.settings = WorkerSettings(
+            cache_dir=str(cache_dir) if cache_dir else None,
+            trace_cache=trace_cache,
+            scratch_dir=str(scratch_dir) if scratch_dir else None,
+        )
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self.executed = 0
+        self.failures = 0
+        self.crashes = 0
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "WorkerPool":
+        """Fork the workers.  Call before the server opens its socket, so
+        children do not inherit listening descriptors."""
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.num_workers):
+            self._spawn(index)
+        return self
+
+    def _spawn(self, index: int) -> None:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, index, self.settings),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its own end
+        handle = _WorkerHandle(process, parent_conn, index)
+        self._handles[index] = handle
+        self._idle.put(handle)
+
+    # ------------------------------------------------------------------ #
+    def execute(self, spec: Mapping[str, Any], timeout: Optional[float] = None) -> Any:
+        """Run one normalized spec on an idle worker; blocks until done.
+
+        Raises :class:`ProtocolError` with code 500 when the job raised,
+        and code 503 when the worker process died mid-job (it is respawned
+        before the error is raised, so the pool never shrinks).
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("pool is not running")
+        handle = self._idle.get(timeout=timeout)
+        try:
+            handle.conn.send(dict(spec))
+            ok, payload = handle.conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            with self._lock:
+                self.crashes += 1
+            self._replace(handle)
+            raise ProtocolError(
+                WORKER_LOST,
+                f"worker {handle.index} died while executing (respawned): {exc}",
+            ) from exc
+        handle.jobs_done += 1
+        self._idle.put(handle)
+        with self._lock:
+            if ok:
+                self.executed += 1
+            else:
+                self.failures += 1
+        if not ok:
+            raise ProtocolError(JOB_FAILED, str(payload))
+        return payload
+
+    def _replace(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=1.0)
+        if not self._closed:
+            self._spawn(handle.index)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = {
+                "executed": self.executed,
+                "failures": self.failures,
+                "crashes": self.crashes,
+            }
+        return {
+            "workers": self.num_workers,
+            "idle_workers": self._idle.qsize(),
+            "jobs_per_worker": {
+                str(index): handle.jobs_done for index, handle in sorted(self._handles.items())
+            },
+            **counters,
+        }
+
+    # ------------------------------------------------------------------ #
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop every worker and sweep temp cache files they may have left.
+
+        Idle workers exit on the sentinel; busy or wedged ones are
+        terminated (then killed) after ``timeout``.  Safe to call more than
+        once.
+        """
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        worker_pids = {
+            handle.process.pid
+            for handle in self._handles.values()
+            if handle.process.pid is not None
+        }
+        for handle in self._handles.values():
+            try:
+                handle.conn.send(None)
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        for handle in self._handles.values():
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            if handle.process.is_alive():  # pragma: no cover - last resort
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        # Killed workers cannot run their own cleanup; sweep both cache
+        # directories for temp files those specific pids left behind
+        # (atomic-write staging only — completed entries are never touched,
+        # and other processes sharing the directory are not raced).
+        from repro.simulation.result_cache import remove_temp_files
+
+        remove_temp_files(
+            Path(self.settings.cache_dir) if self.settings.cache_dir else None,
+            pids=worker_pids | {os.getpid()},
+        )
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,320 @@
+"""Asyncio front-end of the simulation service.
+
+One :class:`SimulationServer` owns a listening TCP or Unix stream socket,
+a parent-side :class:`~repro.simulation.result_cache.SweepResultCache`
+view, and a :class:`~repro.serve.pool.WorkerPool`.  Per request the flow
+is:
+
+1. **Validate** the decoded JSON against the verb registries
+   (:func:`repro.serve.jobs.normalize`); malformed requests get a 400
+   reply without touching the pool.
+2. **Cache fast path** — the request's content digest (the same
+   canonical-args + code-fingerprint key the sweep cache uses) is looked
+   up in the on-disk result cache.  A warm repeat is answered directly by
+   the front-end, marked ``"cached": true``, without entering the pool.
+3. **Coalesce** — if an identical request is already executing, the new
+   one awaits the same in-flight task and is marked ``"coalesced": true``;
+   N concurrent identical requests cost exactly one execution.
+4. **Backpressure** — if the number of distinct in-flight jobs has reached
+   ``max_queue``, the request is refused with a 429 ``busy`` reply rather
+   than queued without bound.
+5. **Dispatch** — otherwise the job runs on the worker pool (via an
+   executor thread, since pool calls block); the raw result is stored in
+   the result cache by the front-end and jsonified for the wire.
+
+All coalescing/backpressure bookkeeping lives on the event loop thread;
+only the blocking pool call leaves it.  In-flight tasks are shielded from
+client disconnects: once started, a job always runs to completion and its
+result is cached, so an impatient client cannot waste the work of the
+patient ones coalesced behind it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import os
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from repro.serve import jobs
+from repro.serve.protocol import (
+    BUSY,
+    MAX_LINE,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+)
+from repro.serve.pool import WorkerPool
+from repro.simulation.result_cache import SweepResultCache
+
+
+class SimulationServer:
+    """Long-lived ndjson simulation service over TCP or a Unix socket."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        socket_path: Optional[str] = None,
+        max_queue: int = 8,
+        cache: Optional[SweepResultCache] = None,
+    ) -> None:
+        if max_queue <= 0:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self.socket_path = str(socket_path) if socket_path else None
+        self.max_queue = max_queue
+        self.cache = cache if cache is not None else SweepResultCache()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "executed": 0,
+            "busy_rejections": 0,
+            "errors": 0,
+        }
+        # asyncio primitives are created inside the running loop (start()),
+        # not here: on Python 3.9 building them without a loop is an error.
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight: Dict[str, "asyncio.Task[Any]"] = {}
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> str:
+        if self.socket_path:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Fork the pool (if needed) and open the listening socket."""
+        self.pool.start()
+        # One executor thread per possible in-flight job: every dispatched
+        # job parks one thread on the blocking pool call.
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_queue, thread_name_prefix="repro-serve-dispatch"
+        )
+        self._started_at = time.monotonic()
+        if self.socket_path:
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)  # stale socket from a dead server
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.socket_path, limit=MAX_LINE
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port, limit=MAX_LINE
+            )
+            # Reflect an ephemeral port (port=0) back for clients/tests.
+            sockets = self._server.sockets or []
+            if sockets:
+                self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the socket, drain in-flight jobs, stop the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        inflight = list(self._inflight.values())
+        if inflight:
+            await asyncio.gather(*inflight, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self.pool.shutdown()
+        if self.socket_path and os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        pending = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:  # line longer than MAX_LINE
+                    await self._reply(
+                        writer, write_lock,
+                        error_response(400, f"request line exceeds {MAX_LINE} bytes"),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # Each request is processed as its own task so several
+                # requests on one connection — and across connections —
+                # can coalesce and complete out of order.
+                task = asyncio.ensure_future(
+                    self._process_request(line, writer, write_lock)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Loop shutdown while parked on readline; in-flight jobs are
+            # drained by stop(), so the connection just goes away quietly.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _reply(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, payload: Mapping
+    ) -> None:
+        async with write_lock:
+            try:
+                writer.write(encode(payload))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; the job (if any) still completes
+
+    async def _process_request(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        self.counters["requests"] += 1
+        request_id = None
+        try:
+            request = decode_line(line)
+            request_id = request.get("id")
+            spec = jobs.normalize(request)
+            verb = spec["verb"]
+            if verb == "status":
+                reply = ok_response(self.status(), request_id)
+            elif verb == "cache_stats":
+                # The directory scan stats the whole cache; keep it off the
+                # loop thread (default executor: the dispatch executor's
+                # threads may all be parked on pool calls).
+                overview = await asyncio.get_running_loop().run_in_executor(
+                    None, self.cache_stats
+                )
+                reply = ok_response(overview, request_id)
+            else:
+                raw, cached, coalesced = await self._dispatch(spec)
+                reply = ok_response(
+                    jobs.jsonify(raw), request_id, cached=cached, coalesced=coalesced
+                )
+        except ProtocolError as exc:
+            if exc.code == BUSY:
+                self.counters["busy_rejections"] += 1
+            else:
+                self.counters["errors"] += 1
+            reply = error_response(exc.code, exc.message, request_id)
+        except Exception as exc:  # noqa: BLE001 - a reply beats a hung client
+            self.counters["errors"] += 1
+            reply = error_response(500, f"{type(exc).__name__}: {exc}", request_id)
+        await self._reply(writer, write_lock, reply)
+
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, spec: Mapping[str, Any]):
+        """Serve one pool-verb spec; returns ``(raw_result, cached, coalesced)``."""
+        digest = jobs.digest_for(spec, self.cache)
+        if digest is not None:
+            # Pickle loads run on the default executor, not the loop thread:
+            # a multi-megabyte cached result must not stall every other
+            # connection while it loads.  (Not the dispatch executor — its
+            # threads may all be parked on blocking pool calls.)
+            hit, value = await asyncio.get_running_loop().run_in_executor(
+                None, self.cache.get, digest
+            )
+            if hit:
+                self.counters["cache_hits"] += 1
+                return value, True, False
+            running = self._inflight.get(digest)
+            if running is not None:
+                self.counters["coalesced"] += 1
+                # shield: a coalesced client disconnecting must not cancel
+                # the shared execution.
+                return await asyncio.shield(running), False, True
+        if len(self._inflight) >= self.max_queue:
+            raise ProtocolError(
+                BUSY,
+                f"busy: {len(self._inflight)} job(s) in flight (max_queue={self.max_queue})",
+            )
+        task = asyncio.ensure_future(self._execute(spec, digest))
+        if digest is not None:
+            self._inflight[digest] = task
+        return await asyncio.shield(task), False, False
+
+    async def _execute(self, spec: Mapping[str, Any], digest: Optional[str]) -> Any:
+        loop = asyncio.get_running_loop()
+        try:
+            raw = await loop.run_in_executor(self._executor, self.pool.execute, dict(spec))
+            self.counters["executed"] += 1
+            if digest is not None:
+                # The front-end stores the raw result (same convention as
+                # SweepRunner: the parent writes, workers never do), so the
+                # entry is shared with command-line sweeps.  The pickle dump
+                # runs off-loop; the job stays in _inflight until the entry
+                # is durable, so an identical request arriving meanwhile
+                # coalesces instead of re-executing.
+                await loop.run_in_executor(None, self.cache.put, digest, raw)
+            return raw
+        finally:
+            if digest is not None:
+                self._inflight.pop(digest, None)
+
+    # ------------------------------------------------------------------ #
+    def status(self) -> Dict[str, Any]:
+        return {
+            "address": self.address,
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "max_queue": self.max_queue,
+            "inflight": len(self._inflight),
+            "counters": dict(self.counters),
+            "pool": self.pool.stats(),
+        }
+
+    def cache_stats(self) -> Dict[str, Any]:
+        from repro.simulation.result_cache import cache_overview
+
+        overview = cache_overview(self.cache.directory)
+        overview["server_cache"] = self.cache.stats.as_dict()
+        return overview
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        """Blocking entry point: serve until SIGINT/SIGTERM, then shut down
+        gracefully (drain in-flight jobs, stop workers, remove the socket)."""
+        asyncio.run(self._run_until_signal())
+
+    async def _run_until_signal(self) -> None:
+        import signal as _signal
+
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        for signum in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                _signal.signal(signum, lambda *_: stop_event.set())
+        await self.start()
+        try:
+            await stop_event.wait()
+        finally:
+            await self.stop()

@@ -43,6 +43,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Environment variable enabling the ambient default cache ("1" to enable).
 CACHE_ENABLE_ENV = "REPRO_SWEEP_CACHE"
 
+#: Subdirectory of the cache root holding memoized ``.strc`` traces
+#: (see :mod:`repro.experiments.common`).
+TRACES_SUBDIR = "traces"
+
 
 def default_cache_dir() -> Path:
     """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sms``."""
@@ -158,7 +162,12 @@ class SweepResultCache:
         return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 
     def _entry_path(self, digest: str) -> Path:
-        return self.directory / f"{digest}.pkl"
+        # The digest already embeds the code fingerprint; prefixing the file
+        # name with it too makes stale entries (from older code versions —
+        # permanently unreachable, since any code change rewrites every
+        # digest) recognizable from the directory listing alone, which is
+        # what ``repro.cli cache prune`` relies on.
+        return self.directory / f"{entry_prefix()}-{digest}.pkl"
 
     # ------------------------------------------------------------------ #
     def get(self, digest: str) -> Tuple[bool, Any]:
@@ -191,7 +200,12 @@ class SweepResultCache:
         path = self._entry_path(digest)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            fd, temp_name = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+            # The writer's pid is embedded in the staging name so interrupt
+            # cleanup can remove exactly its own leftovers without racing
+            # the atomic writes of sibling processes sharing the directory.
+            fd, temp_name = tempfile.mkstemp(
+                dir=str(self.directory), suffix=f".{os.getpid()}.tmp"
+            )
             try:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
@@ -225,6 +239,142 @@ class SweepResultCache:
 
     def __repr__(self) -> str:
         return f"SweepResultCache(directory={str(self.directory)!r}, stats={self.stats})"
+
+
+def entry_prefix() -> str:
+    """File-name prefix tying cache entries to the current code fingerprint."""
+    return code_fingerprint()[:16]
+
+
+def _tally(paths) -> Tuple[int, int]:
+    """(count, total bytes) over ``paths``, tolerating concurrent deletion."""
+    count = 0
+    total = 0
+    for path in paths:
+        try:
+            total += path.stat().st_size
+        except OSError:
+            continue
+        count += 1
+    return count, total
+
+
+def cache_overview(directory: Optional[Union[str, Path]] = None) -> dict:
+    """Entry counts and byte sizes for the sweep and trace caches.
+
+    ``stale`` entries carry a code fingerprint other than the current
+    package's — they can never be served again (every lookup key embeds the
+    current fingerprint) and are what :func:`prune_cache` removes.  Temp
+    files are atomic-write staging left behind by interrupted runs.
+    """
+    root = Path(directory) if directory is not None else default_cache_dir()
+    prefix = f"{entry_prefix()}-"
+    sweep_fresh, sweep_stale, sweep_temp = [], [], []
+    if root.is_dir():
+        for path in root.glob("*.pkl"):
+            (sweep_fresh if path.name.startswith(prefix) else sweep_stale).append(path)
+        sweep_temp = list(root.glob("*.tmp"))
+    traces_root = root / TRACES_SUBDIR
+    suffix = f"-{entry_prefix()}.strc"
+    trace_fresh, trace_stale, trace_temp = [], [], []
+    if traces_root.is_dir():
+        for path in traces_root.glob("*.strc"):
+            if path.name.startswith(".tmp-"):
+                continue
+            (trace_fresh if path.name.endswith(suffix) else trace_stale).append(path)
+        trace_temp = list(traces_root.glob(".tmp-*"))
+
+    def section(fresh, stale, temp) -> dict:
+        entries, entry_bytes = _tally(fresh)
+        stale_entries, stale_bytes = _tally(stale)
+        return {
+            "entries": entries,
+            "bytes": entry_bytes,
+            "stale_entries": stale_entries,
+            "stale_bytes": stale_bytes,
+            "temp_files": len(temp),
+        }
+
+    return {
+        "directory": str(root),
+        "sweep": section(sweep_fresh, sweep_stale, sweep_temp),
+        "traces": section(trace_fresh, trace_stale, trace_temp),
+    }
+
+
+def prune_cache(directory: Optional[Union[str, Path]] = None) -> dict:
+    """Remove stale-fingerprint entries and temp files from both caches.
+
+    Safe with respect to live data — current-fingerprint entries are never
+    touched — but should not race a *running* sweep, whose in-progress
+    atomic writes stage through the temp files this removes.
+    Returns removal counts per category.
+    """
+    root = Path(directory) if directory is not None else default_cache_dir()
+    prefix = f"{entry_prefix()}-"
+    removed = {"sweep_entries": 0, "trace_entries": 0, "temp_files": 0}
+    if root.is_dir():
+        for path in root.glob("*.pkl"):
+            if not path.name.startswith(prefix):
+                removed["sweep_entries"] += _unlink(path)
+    traces_root = root / TRACES_SUBDIR
+    suffix = f"-{entry_prefix()}.strc"
+    if traces_root.is_dir():
+        for path in traces_root.glob("*.strc"):
+            if not path.name.startswith(".tmp-") and not path.name.endswith(suffix):
+                removed["trace_entries"] += _unlink(path)
+    removed["temp_files"] = remove_temp_files(root)
+    return removed
+
+
+def remove_temp_files(
+    directory: Optional[Union[str, Path]] = None,
+    pids: Optional[set] = None,
+) -> int:
+    """Delete atomic-write staging files from both cache directories.
+
+    Interrupted or killed processes (Ctrl-C'd sweeps, SIGKILLed serve
+    workers) leak ``*.<pid>.tmp`` pickles in the sweep cache and
+    ``.tmp-<pid>-*`` traces in the trace cache; completed entries are never
+    touched.  ``pids`` scopes removal to those writers' files — pass it
+    whenever sibling processes may share the directory with live atomic
+    writes in flight; ``None`` removes every process's staging files and is
+    only safe when no writer is running.  Returns the number removed.
+    """
+    root = Path(directory) if directory is not None else default_cache_dir()
+    removed = 0
+    if root.is_dir():
+        for path in root.glob("*.tmp"):
+            if _sweep_temp_pid_matches(path.name, pids):
+                removed += _unlink(path)
+    traces_root = root / TRACES_SUBDIR
+    if traces_root.is_dir():
+        for path in traces_root.glob(".tmp-*"):
+            if _trace_temp_pid_matches(path.name, pids):
+                removed += _unlink(path)
+    return removed
+
+
+def _sweep_temp_pid_matches(name: str, pids: Optional[set]) -> bool:
+    if pids is None:
+        return True
+    parts = name.split(".")  # "<random>.<pid>.tmp"
+    return len(parts) >= 3 and parts[-2].isdigit() and int(parts[-2]) in pids
+
+
+def _trace_temp_pid_matches(name: str, pids: Optional[set]) -> bool:
+    if pids is None:
+        return True
+    parts = name.split("-")  # ".tmp-<pid>-<entry name>"
+    return len(parts) >= 3 and parts[1].isdigit() and int(parts[1]) in pids
+
+
+def _unlink(path: Path) -> int:
+    try:
+        path.unlink()
+    except OSError:
+        return 0
+    return 1
 
 
 #: Sentinel distinguishing "never configured" from "explicitly disabled".

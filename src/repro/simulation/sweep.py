@@ -23,14 +23,17 @@ pickle loads instead of full simulations.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import pickle
+import signal
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.simulation.result_cache import SweepResultCache, default_cache
+from repro.simulation.result_cache import SweepResultCache, default_cache, remove_temp_files
 
 
 @dataclass(frozen=True)
@@ -62,6 +65,33 @@ def _execute_task_guarded(task: SweepTask) -> Tuple[bool, Any]:
 def default_worker_count() -> int:
     """Worker count used when a parallel sweep does not specify one."""
     return max(1, os.cpu_count() or 1)
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Deliver SIGTERM as KeyboardInterrupt for the duration of a sweep.
+
+    ``kill <pid>`` of a parallel sweep then takes the same orderly path as
+    Ctrl-C: the ``multiprocessing.Pool`` context manager terminates the
+    child processes and the runner sweeps up its temp cache files, instead
+    of the parent dying mid-``map`` and leaking both.  Signal handlers can
+    only be installed from the main thread; elsewhere (e.g. the serve
+    pool's executor threads) this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    def _raise(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise KeyboardInterrupt
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # pragma: no cover - non-main interpreter thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 class SweepRunner:
@@ -124,13 +154,38 @@ class SweepRunner:
         return results
 
     def _execute(self, tasks: Sequence[SweepTask]) -> List[Any]:
-        """Run ``tasks`` (no caching), preserving order; ``tasks`` is non-empty."""
+        """Run ``tasks`` (no caching), preserving order; ``tasks`` is non-empty.
+
+        KeyboardInterrupt/SIGTERM shut the sweep down gracefully: pool
+        children are terminated (by ``Pool.__exit__``) and the temp files
+        their interrupted atomic cache writes staged are removed rather
+        than leaked; the interrupt is then re-raised.
+        """
+        try:
+            return self._run_tasks(tasks)
+        except KeyboardInterrupt:
+            # Scoped to this process's own staging files: a sibling sweep or
+            # a serve daemon sharing the cache directory may have atomic
+            # writes in flight that must not be yanked out from under it.
+            remove_temp_files(
+                self.cache.directory if self.cache is not None else None,
+                pids={os.getpid()},
+            )
+            raise
+
+    def _run_tasks(self, tasks: Sequence[SweepTask]) -> List[Any]:
         if not self.parallel or len(tasks) == 1:
-            return [task.execute() for task in tasks]
+            with _sigterm_as_interrupt():
+                return [task.execute() for task in tasks]
         try:
             processes = min(self.max_workers, len(tasks))
             with multiprocessing.Pool(processes=processes) as pool:
-                outcomes = pool.map(_execute_task_guarded, tasks)
+                # The SIGTERM handler goes in only *after* the workers have
+                # forked: a child inheriting the raising handler would
+                # survive Pool.terminate() (which relies on SIGTERM's
+                # default disposition) and leak, wedged on the shared queue.
+                with _sigterm_as_interrupt():
+                    outcomes = pool.map(_execute_task_guarded, tasks)
         except (OSError, ValueError, AttributeError, pickle.PicklingError) as exc:
             # Pool infrastructure failed — sandboxed environments may lack
             # semaphores/fork, and ad-hoc callables (lambdas, closures) may

@@ -11,6 +11,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_setup_py_reads_version_from_package(self):
+        import re
+        from pathlib import Path
+
+        import repro
+
+        setup_text = (Path(__file__).parent.parent / "setup.py").read_text()
+        # setup.py must not pin its own version string; it reads the package's.
+        assert "_package_version" in setup_text
+        assert not re.search(r'version="\d', setup_text)
+        init_text = (Path(repro.__file__)).read_text()
+        assert f'__version__ = "{repro.__version__}"' in init_text
+
     def test_simulate_defaults(self):
         args = build_parser().parse_args(["simulate", "--workload", "oltp-db2"])
         assert args.prefetcher == "sms"
@@ -165,3 +186,77 @@ class TestConvertCommand:
         assert main(["convert", "--input", str(bad), "--output", str(output)]) == 1
         assert "error:" in capsys.readouterr().err
         assert output.read_bytes() == good  # previous conversion intact
+
+
+class TestCacheCommand:
+    def _plant(self, root):
+        """A cache directory with one fresh, one stale, one temp file per layer."""
+        from repro.simulation.result_cache import entry_prefix
+
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "traces").mkdir(exist_ok=True)
+        prefix = entry_prefix()
+        fresh_pkl = root / f"{prefix}-{'0' * 64}.pkl"
+        fresh_pkl.write_bytes(b"fresh")
+        stale_pkl = root / f"{'f' * 16}-{'1' * 64}.pkl"
+        stale_pkl.write_bytes(b"stale")
+        temp_pkl = root / "abc.tmp"
+        temp_pkl.write_bytes(b"tmp")
+        fresh_trace = root / "traces" / f"oltp-db2-c2-a1000-s7-{prefix}.strc"
+        fresh_trace.write_bytes(b"fresh")
+        stale_trace = root / "traces" / f"oltp-db2-c2-a1000-s7-{'e' * 16}.strc"
+        stale_trace.write_bytes(b"stale")
+        temp_trace = root / "traces" / ".tmp-1-x.strc"
+        temp_trace.write_bytes(b"tmp")
+        return fresh_pkl, stale_pkl, temp_pkl, fresh_trace, stale_trace, temp_trace
+
+    def test_stats_counts_fresh_and_stale(self, tmp_path, capsys):
+        self._plant(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        sweep_row = next(line for line in output.splitlines() if line.startswith("sweep"))
+        traces_row = next(line for line in output.splitlines() if line.startswith("traces"))
+        # cache / entries / bytes / stale_entries / stale_bytes / temp_files
+        assert sweep_row.split() == ["sweep", "1", "5", "1", "5", "1"]
+        assert traces_row.split() == ["traces", "1", "5", "1", "5", "1"]
+
+    def test_prune_removes_only_stale_and_temp(self, tmp_path, capsys):
+        planted = self._plant(tmp_path)
+        fresh_pkl, stale_pkl, temp_pkl, fresh_trace, stale_trace, temp_trace = planted
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 0
+        assert "1 stale sweep" in capsys.readouterr().out
+        assert fresh_pkl.exists() and fresh_trace.exists()
+        assert not stale_pkl.exists() and not stale_trace.exists()
+        assert not temp_pkl.exists() and not temp_trace.exists()
+
+    def test_stats_on_missing_directory(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "nope")]) == 0
+        assert "sweep" in capsys.readouterr().out
+
+
+class TestSubmitCommand:
+    def test_connection_refused_reports_error(self, tmp_path, capsys):
+        exit_code = main(
+            ["submit", "--socket", str(tmp_path / "absent.sock"),
+             "--verb", "status", "--timeout", "1"]
+        )
+        assert exit_code == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_bad_arg_syntax_rejected(self, capsys):
+        exit_code = main(["submit", "--socket", "/tmp/x.sock", "--verb", "simulate",
+                          "--arg", "no-equals-sign"])
+        assert exit_code == 1
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_requires_verb_or_request(self, capsys):
+        assert main(["submit", "--socket", "/tmp/x.sock"]) == 1
+        assert "pass --verb or --request" in capsys.readouterr().err
+
+    def test_arg_values_parsed_as_json_when_possible(self):
+        from repro.cli import _parse_submit_args
+
+        params = _parse_submit_args(
+            ["workload=oltp-db2", "cpus=2", "scale=0.5", "flag=true"]
+        )
+        assert params == {"workload": "oltp-db2", "cpus": 2, "scale": 0.5, "flag": True}

@@ -402,3 +402,78 @@ class TestShardPartitioning:
             assert mono.lookup(probe_key) == shard.lookup(probe_key)
         assert mono.replacements == shard.replacements
         assert mono.occupancy == shard.occupancy
+
+
+class TestDefaultMmapDir:
+    """The ambient backing-file directory used by long-lived processes."""
+
+    def test_explicit_setting_routes_backing_files(self, tmp_path):
+        from repro.core.pht import default_mmap_dir, set_default_mmap_dir
+
+        scratch = tmp_path / "pht-scratch"
+        token = set_default_mmap_dir(scratch)
+        try:
+            assert default_mmap_dir() == scratch
+            store = make_pht_store(
+                "mmap", num_blocks=32, num_sets=4, associativity=4, unbounded=False
+            )
+            store.store(0, stable_hash("key"), "key", 0b1, False)
+            backing = list(scratch.glob("repro-pht-*.mmap"))
+            assert len(backing) == 1  # the temp file lives in the scratch dir
+            store.close()
+        finally:
+            set_default_mmap_dir(token)
+
+    def test_env_variable_is_the_ambient_default(self, tmp_path, monkeypatch):
+        from repro.core.pht import PHT_DIR_ENV, default_mmap_dir, set_default_mmap_dir
+
+        monkeypatch.setenv(PHT_DIR_ENV, str(tmp_path / "env-scratch"))
+        # An explicit None ("no ambient dir") overrides the environment ...
+        token = set_default_mmap_dir(None)
+        try:
+            assert default_mmap_dir() is None
+        finally:
+            set_default_mmap_dir(token)
+        # ... while the never-configured state falls back to $REPRO_PHT_DIR.
+        assert default_mmap_dir() == tmp_path / "env-scratch"
+
+    def test_explicit_dir_argument_still_wins(self, tmp_path):
+        from repro.core.pht import set_default_mmap_dir
+
+        token = set_default_mmap_dir(tmp_path / "ambient")
+        try:
+            explicit = tmp_path / "explicit"
+            explicit.mkdir()
+            backend = MmapBackend(
+                num_blocks=32, num_sets=4, associativity=4, unbounded=False,
+                dir=explicit,
+            )
+            backend.store(0, stable_hash("key"), "key", 0b1, False)
+            assert list(explicit.glob("repro-pht-*.mmap"))
+            assert not (tmp_path / "ambient").exists()
+            backend.close()
+        finally:
+            set_default_mmap_dir(token)
+
+    def test_results_identical_with_and_without_scratch_dir(self, tmp_path):
+        from repro.core.pht import set_default_mmap_dir
+
+        config = SMSConfig.paper_practical().replace(pht_backend="mmap")
+        workload = make_workload("oltp-db2", num_cpus=2, accesses_per_cpu=1500, seed=3)
+        records = list(workload)
+        sim_config = SimulationConfig.small(num_cpus=2)
+
+        def run_once():
+            engine = SimulationEngine(
+                sim_config, lambda cpu: SpatialMemoryStreaming(config), name="mmap"
+            )
+            return engine.run(records)
+
+        cold = run_once()
+        token = set_default_mmap_dir(tmp_path / "scratch")
+        try:
+            warm_placement = run_once()
+        finally:
+            set_default_mmap_dir(token)
+        for field in COUNTER_FIELDS:
+            assert getattr(warm_placement, field) == getattr(cold, field), field

@@ -87,11 +87,12 @@ class TestStore:
         cache = SweepResultCache(tmp_path)
         digest = cache.fingerprint(square, (5,), {})
         cache.put(digest, 25)
-        (tmp_path / f"{digest}.pkl").write_bytes(b"not a pickle")
+        entry = cache._entry_path(digest)
+        entry.write_bytes(b"not a pickle")
         with pytest.warns(RuntimeWarning, match="unreadable sweep cache entry"):
             hit, _ = cache.get(digest)
         assert not hit
-        assert not (tmp_path / f"{digest}.pkl").exists()
+        assert not entry.exists()
 
     def test_clear(self, tmp_path):
         cache = SweepResultCache(tmp_path)

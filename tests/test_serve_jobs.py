@@ -1,0 +1,193 @@
+"""Tests for repro.serve.jobs: validation, digests, wire conversion."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+
+import pytest
+
+from repro.analysis.reporting import ResultTable
+from repro.experiments import common
+from repro.experiments import fig10_region_size as fig10
+from repro.experiments import fig11_ghb as fig11
+from repro.serve import jobs
+from repro.serve.protocol import BAD_REQUEST, ProtocolError
+from repro.simulation.result_cache import SweepResultCache
+
+
+class TestNormalize:
+    def test_simulate_defaults_applied(self):
+        spec = jobs.normalize({"verb": "simulate", "workload": "oltp-db2"})
+        assert spec == {
+            "verb": "simulate",
+            "workload": "oltp-db2",
+            "prefetcher": "sms",
+            "cpus": 4,
+            "accesses_per_cpu": 10_000,
+            "seed": 1,
+            "pht_backend": "dict",
+            "pht_shards": 1,
+        }
+
+    def test_id_is_not_a_parameter(self):
+        spec = jobs.normalize({"verb": "status", "id": 42})
+        assert spec == {"verb": "status"}
+
+    @pytest.mark.parametrize(
+        "request_obj",
+        [
+            {"verb": "warp"},
+            {"verb": "simulate"},  # missing workload
+            {"verb": "simulate", "workload": "spec2017"},
+            {"verb": "simulate", "workload": "oltp-db2", "cpus": 0},
+            {"verb": "simulate", "workload": "oltp-db2", "cpus": True},
+            {"verb": "simulate", "workload": "oltp-db2", "frobnicate": 1},
+            {"verb": "sweep", "figure": "fig99", "item": "OLTP"},
+            {"verb": "sweep", "figure": "fig10", "item": "oltp-db2"},  # app, not category
+            {"verb": "sweep", "figure": "fig10", "item": "OLTP", "scale": 0},
+            {"verb": "sweep", "figure": "fig10", "item": "OLTP", "scale": "big"},
+            {"verb": "experiment", "figure": "tab01"},
+            {"verb": "status", "extra": 1},
+        ],
+    )
+    def test_invalid_requests_rejected(self, request_obj):
+        with pytest.raises(ProtocolError) as excinfo:
+            jobs.normalize(request_obj)
+        assert excinfo.value.code == BAD_REQUEST
+
+    def test_sweep_accepts_applications_for_application_figures(self):
+        spec = jobs.normalize({"verb": "sweep", "figure": "fig11", "item": "oltp-db2"})
+        assert spec["item"] == "oltp-db2"
+        assert spec["scale"] == 1.0
+        assert isinstance(spec["scale"], float)
+
+    def test_scale_normalized_to_float(self):
+        # int and float spellings of the same scale must produce one digest.
+        a = jobs.normalize({"verb": "sweep", "figure": "fig10", "item": "OLTP", "scale": 1})
+        b = jobs.normalize({"verb": "sweep", "figure": "fig10", "item": "OLTP", "scale": 1.0})
+        assert a == b
+
+
+class TestDigestParity:
+    """Service job identity == the sweep cache's task identity."""
+
+    def test_sweep_digest_matches_run_sweep_task(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        spec = jobs.normalize(
+            {"verb": "sweep", "figure": "fig10", "item": "OLTP", "scale": 0.05, "num_cpus": 2}
+        )
+        served = jobs.digest_for(spec, cache)
+        # The exact task shape fig10.run() hands to run_sweep: item
+        # positional, figure defaults as kwargs.
+        direct = cache.fingerprint(
+            fig10.run_category,
+            ("OLTP",),
+            {"region_sizes": fig10.REGION_SIZES, "scale": 0.05, "num_cpus": 2},
+        )
+        assert served is not None
+        assert served == direct
+
+    def test_application_figure_digest_parity(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        spec = jobs.normalize(
+            {"verb": "sweep", "figure": "fig11", "item": "web-apache", "scale": 0.1, "num_cpus": 2}
+        )
+        direct = cache.fingerprint(
+            fig11.run_application,
+            ("web-apache",),
+            {"configurations": fig11.CONFIGURATIONS, "scale": 0.1, "num_cpus": 2},
+        )
+        assert jobs.digest_for(spec, cache) == direct
+
+    def test_distinct_items_distinct_digests(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        specs = [
+            jobs.normalize({"verb": "sweep", "figure": "fig10", "item": item, "scale": 0.05})
+            for item in ("OLTP", "DSS")
+        ]
+        digests = {jobs.digest_for(spec, cache) for spec in specs}
+        assert len(digests) == 2
+
+    def test_every_sweep_figure_has_a_stable_digest(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        for figure, entry in jobs.SWEEP_FIGURES.items():
+            item = entry.items()[0]
+            spec = jobs.normalize({"verb": "sweep", "figure": figure, "item": item})
+            assert jobs.digest_for(spec, cache) is not None, figure
+
+    def test_experiment_digest_stable(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        spec = jobs.normalize({"verb": "experiment", "figure": "fig10", "scale": 0.05})
+        assert jobs.digest_for(spec, cache) == jobs.digest_for(spec, cache)
+
+
+class _Colour(enum.Enum):
+    RED = "red"
+
+
+@dataclasses.dataclass
+class _Point:
+    x: int
+    y: float
+
+
+class TestJsonify:
+    def test_scalars_and_containers(self):
+        value = {"a": [1, 2.5, None, True, "s"], "b": (3, 4)}
+        assert jobs.jsonify(value) == {"a": [1, 2.5, None, True, "s"], "b": [3, 4]}
+
+    def test_int_and_tuple_keys_stringified(self):
+        assert jobs.jsonify({128: 0.5, ("pc", None): 1.0}) == {"128": 0.5, "pc/None": 1.0}
+
+    def test_dataclass_and_enum(self):
+        assert jobs.jsonify({_Colour.RED: _Point(1, 2.0)}) == {"red": {"x": 1, "y": 2.0}}
+
+    def test_result_table_includes_rendered_text(self):
+        table = ResultTable(title="t", headers=["k", "v"])
+        table.add_row("a", 1)
+        wire = jobs.jsonify(table)
+        assert wire["headers"] == ["k", "v"]
+        assert wire["rows"] == [["a", 1]]
+        assert wire["text"] == table.to_text()
+
+    def test_round_trips_through_json(self):
+        wire = jobs.jsonify({64: _Point(1, 2.0)})
+        assert json.loads(json.dumps(wire, sort_keys=True)) == wire
+
+    def test_unconvertible_rejected(self):
+        with pytest.raises(TypeError):
+            jobs.jsonify(object())
+
+
+class TestRunSimulate:
+    def test_deterministic_and_jsonable(self):
+        kwargs = dict(prefetcher="sms", cpus=2, accesses_per_cpu=1500, seed=1)
+        first = jobs.run_simulate("web-apache", **kwargs)
+        second = jobs.run_simulate("web-apache", **kwargs)
+        assert first == second
+        assert json.dumps(first, sort_keys=True)  # all values JSON-able
+        assert 0.0 <= first["l1_coverage"] <= 1.0
+        assert first["speedup"] > 0
+
+    def test_execute_spec_equals_direct_call(self):
+        spec = jobs.normalize(
+            {"verb": "simulate", "workload": "web-apache", "cpus": 2, "accesses_per_cpu": 1500}
+        )
+        assert jobs.execute_spec(spec) == jobs.run_simulate(
+            "web-apache", prefetcher="sms", cpus=2, accesses_per_cpu=1500, seed=1,
+            pht_backend="dict", pht_shards=1,
+        )
+
+
+class TestRegistries:
+    def test_sweep_items_match_domains(self):
+        assert jobs.SWEEP_FIGURES["fig10"].items() == tuple(common.CATEGORY_REPRESENTATIVE)
+        assert jobs.SWEEP_FIGURES["fig12"].items() == tuple(common.application_names())
+
+    def test_pool_verbs_resolve_and_others_do_not(self):
+        for verb in jobs.POOL_VERBS:
+            assert verb in ("simulate", "sweep", "experiment")
+        with pytest.raises(ValueError):
+            jobs.job_for({"verb": "status"})

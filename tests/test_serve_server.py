@@ -1,0 +1,229 @@
+"""End-to-end tests for the asyncio simulation service (repro.serve.server).
+
+The server is booted in-process on a Unix socket and driven with asyncio
+stream clients, so coalescing behaviour is observed deterministically: all
+requests of a wave are written before any reply is awaited, and the pool's
+execution counter tells exactly how many simulations actually ran.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import shutil
+import tempfile
+import threading
+
+import pytest
+
+from repro.experiments import fig10_region_size as fig10
+from repro.serve import ServeClient, SimulationServer, WorkerPool, jobs
+from repro.serve.protocol import BAD_REQUEST, BUSY
+from repro.simulation.result_cache import SweepResultCache
+
+SWEEP_OLTP = {"verb": "sweep", "figure": "fig10", "item": "OLTP", "scale": 0.05, "num_cpus": 2}
+SWEEP_DSS = {"verb": "sweep", "figure": "fig10", "item": "DSS", "scale": 0.05, "num_cpus": 2}
+
+
+@pytest.fixture
+def socket_dir():
+    # A private short-lived dir in the system tempdir: pytest's tmp_path can
+    # exceed the ~108-byte AF_UNIX path limit.
+    path = tempfile.mkdtemp(prefix="repro-serve-")
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+async def _ask(socket_path: str, payload: dict) -> dict:
+    reader, writer = await asyncio.open_unix_connection(socket_path)
+    try:
+        writer.write((json.dumps(payload) + "\n").encode())
+        await writer.drain()
+        return json.loads(await reader.readline())
+    finally:
+        writer.close()
+
+
+class TestServiceEndToEnd:
+    def test_coalescing_caching_and_byte_identical_results(self, tmp_path, socket_dir):
+        socket_path = f"{socket_dir}/serve.sock"
+        cache_dir = tmp_path / "cache"
+
+        async def scenario():
+            pool = WorkerPool(workers=2, cache_dir=str(cache_dir))
+            server = SimulationServer(
+                pool,
+                socket_path=socket_path,
+                max_queue=8,
+                cache=SweepResultCache(directory=cache_dir),
+            )
+            await server.start()
+            try:
+                # Wave 1: five identical + one distinct request, all written
+                # before any reply arrives.
+                replies = await asyncio.gather(
+                    *[_ask(socket_path, dict(SWEEP_OLTP, id=i)) for i in range(5)],
+                    _ask(socket_path, dict(SWEEP_DSS, id="dss")),
+                )
+                oltp_replies, dss_reply = replies[:5], replies[5]
+                status = (await _ask(socket_path, {"verb": "status"}))["result"]
+                # Wave 2: a warm repeat must come from the cache without
+                # re-entering the pool.
+                warm = await _ask(socket_path, SWEEP_OLTP)
+                warm_status = (await _ask(socket_path, {"verb": "status"}))["result"]
+                return oltp_replies, dss_reply, status, warm, warm_status
+            finally:
+                await server.stop()
+
+        oltp_replies, dss_reply, status, warm, warm_status = asyncio.run(scenario())
+
+        assert all(reply["ok"] for reply in oltp_replies) and dss_reply["ok"]
+        # Coalescing: 6 concurrent requests over 2 distinct keys = exactly
+        # 2 underlying executions.
+        assert status["pool"]["executed"] == 2
+        assert status["counters"]["executed"] == 2
+        # Of the 5 identical requests, one executed; the other 4 either
+        # coalesced onto it or (having arrived after completion) hit the cache.
+        followers = [r for r in oltp_replies if r["coalesced"] or r["cached"]]
+        assert len(followers) == 4
+        payloads = {json.dumps(r["result"], sort_keys=True) for r in oltp_replies}
+        assert len(payloads) == 1
+
+        # Warm repeat: served from cache, pool untouched.
+        assert warm["ok"] and warm["cached"] and not warm["coalesced"]
+        assert warm_status["pool"]["executed"] == 2
+        assert warm_status["counters"]["cache_hits"] >= 1
+
+        # Byte-identical to the direct (non-served) engine path.
+        direct = fig10.run_category(
+            "OLTP", region_sizes=fig10.REGION_SIZES, scale=0.05, num_cpus=2
+        )
+        assert json.dumps(oltp_replies[0]["result"], sort_keys=True) == json.dumps(
+            jobs.jsonify(direct), sort_keys=True
+        )
+
+    def test_simulate_verb_and_blocking_client(self, tmp_path, socket_dir):
+        socket_path = f"{socket_dir}/serve.sock"
+
+        async def scenario():
+            pool = WorkerPool(workers=1, cache_dir=str(tmp_path / "cache"))
+            server = SimulationServer(pool, socket_path=socket_path, max_queue=4)
+            await server.start()
+            try:
+                # Drive the blocking client from a worker thread so it can
+                # talk to the in-process server.
+                def client_side():
+                    with ServeClient(socket_path=socket_path) as client:
+                        result = client.call(
+                            "simulate", workload="web-apache", cpus=2, accesses_per_cpu=1200
+                        )
+                        stats = client.call("cache_stats")
+                    return result, stats
+
+                return await asyncio.get_running_loop().run_in_executor(None, client_side)
+            finally:
+                await server.stop()
+
+        result, stats = asyncio.run(scenario())
+        direct = jobs.run_simulate("web-apache", cpus=2, accesses_per_cpu=1200)
+        assert result == jobs.jsonify(direct)
+        assert stats["sweep"]["entries"] == 1  # the simulate result was stored
+        assert "server_cache" in stats
+
+    def test_malformed_and_invalid_requests(self, tmp_path, socket_dir):
+        socket_path = f"{socket_dir}/serve.sock"
+
+        async def scenario():
+            pool = WorkerPool(workers=1, cache_dir=str(tmp_path / "cache"))
+            server = SimulationServer(pool, socket_path=socket_path, max_queue=4)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_unix_connection(socket_path)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                bad_json = json.loads(await reader.readline())
+                # The connection survives a bad request.
+                writer.write((json.dumps({"verb": "sweep", "figure": "fig10",
+                                          "item": "no-such-category"}) + "\n").encode())
+                await writer.drain()
+                bad_item = json.loads(await reader.readline())
+                writer.write((json.dumps({"verb": "status", "id": "after"}) + "\n").encode())
+                await writer.drain()
+                after = json.loads(await reader.readline())
+                writer.close()
+                return bad_json, bad_item, after
+            finally:
+                await server.stop()
+
+        bad_json, bad_item, after = asyncio.run(scenario())
+        assert not bad_json["ok"] and bad_json["code"] == BAD_REQUEST
+        assert not bad_item["ok"] and "no-such-category" in bad_item["error"]
+        assert after["ok"] and after["id"] == "after"
+
+
+class _BlockingPool:
+    """Pool stand-in whose single job blocks until the test releases it."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.executed = 0
+
+    def start(self):
+        return self
+
+    def execute(self, spec):
+        assert self.release.wait(timeout=30)
+        self.executed += 1
+        return {"item": spec.get("item") or spec.get("workload")}
+
+    def stats(self):
+        return {"workers": 1, "executed": self.executed}
+
+    def shutdown(self):
+        self.release.set()
+
+
+class TestBackpressure:
+    def test_busy_reply_when_inflight_bound_reached(self, tmp_path, socket_dir):
+        socket_path = f"{socket_dir}/serve.sock"
+
+        async def scenario():
+            pool = _BlockingPool()
+            server = SimulationServer(
+                pool,
+                socket_path=socket_path,
+                max_queue=1,
+                cache=SweepResultCache(directory=tmp_path / "cache"),
+            )
+            await server.start()
+            try:
+                reader_a, writer_a = await asyncio.open_unix_connection(socket_path)
+                writer_a.write((json.dumps(SWEEP_OLTP) + "\n").encode())
+                await writer_a.drain()
+                # Let the first request reach the (blocked) pool before the
+                # second arrives.
+                for _ in range(100):
+                    if len(server._inflight) == 1:
+                        break
+                    await asyncio.sleep(0.01)
+                assert len(server._inflight) == 1
+                busy_reply = await _ask(socket_path, SWEEP_DSS)
+                # An identical request coalesces instead of being refused.
+                reader_c, writer_c = await asyncio.open_unix_connection(socket_path)
+                writer_c.write((json.dumps(SWEEP_OLTP) + "\n").encode())
+                await writer_c.drain()
+                await asyncio.sleep(0.05)
+                pool.release.set()
+                first_reply = json.loads(await reader_a.readline())
+                coalesced_reply = json.loads(await reader_c.readline())
+                writer_a.close()
+                writer_c.close()
+                return busy_reply, first_reply, coalesced_reply, pool.executed
+            finally:
+                await server.stop()
+
+        busy_reply, first_reply, coalesced_reply, executed = asyncio.run(scenario())
+        assert not busy_reply["ok"] and busy_reply["code"] == BUSY
+        assert first_reply["ok"] and not first_reply["coalesced"]
+        assert coalesced_reply["ok"] and coalesced_reply["coalesced"]
+        assert executed == 1

@@ -104,3 +104,50 @@ class TestExperimentAdoption:
             workers=2,
         )
         assert len(table.to_dicts()) == 1
+
+
+def interrupt_on_call(value):
+    """Module-level stand-in for a Ctrl-C arriving mid-task."""
+    raise KeyboardInterrupt
+
+
+class TestGracefulShutdown:
+    def test_interrupt_cleans_own_temp_cache_files_and_reraises(self, tmp_path):
+        import os
+
+        from repro.simulation.result_cache import SweepResultCache
+
+        pid = os.getpid()
+        (tmp_path / "traces").mkdir()
+        leaked_pickle = tmp_path / f"half-written.{pid}.tmp"
+        leaked_pickle.write_bytes(b"partial")
+        leaked_trace = tmp_path / "traces" / f".tmp-{pid}-oltp-db2-c2-a1000-s7-cafe.strc"
+        leaked_trace.write_bytes(b"partial")
+        entry = tmp_path / "aaaa-bbbb.pkl"
+        entry.write_bytes(b"done")
+        # A sibling process's in-flight staging file must NOT be yanked.
+        sibling = tmp_path / "other-writer.99999.tmp"
+        sibling.write_bytes(b"in flight")
+
+        runner = SweepRunner(cache=SweepResultCache(tmp_path))
+        with pytest.raises(KeyboardInterrupt):
+            runner.map(interrupt_on_call, [1, 2])
+        assert not leaked_pickle.exists()
+        assert not leaked_trace.exists()
+        assert entry.exists()  # completed entries survive
+        assert sibling.exists()  # other processes' staging survives
+
+    def test_sigterm_is_delivered_as_keyboard_interrupt(self):
+        import os
+        import signal
+
+        from repro.simulation.sweep import _sigterm_as_interrupt
+
+        previous = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            with _sigterm_as_interrupt():
+                os.kill(os.getpid(), signal.SIGTERM)
+                # The raising handler fires at the next bytecode boundary,
+                # so this line must never be reached.
+                raise AssertionError("SIGTERM handler did not fire")
+        assert signal.getsignal(signal.SIGTERM) == previous
