@@ -41,6 +41,13 @@ Three subcommands cover the common workflows without writing any Python:
 
         python -m repro.cli cache stats
         python -m repro.cli cache prune
+
+``lint``
+    Run the determinism/hot-path/fork-safety static analyzer
+    (:mod:`repro.devtools`) over the package (or given paths)::
+
+        python -m repro.cli lint
+        python -m repro.cli lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -255,6 +262,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-sms)",
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the determinism/hot-path static analyzer (see repro.devtools)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files or directories (default: the repro package)"
+    )
+    lint.add_argument("--format", choices=["human", "json"], default="human")
+    lint.add_argument("--baseline", default=None, help="baseline file of grandfathered findings")
+    lint.add_argument(
+        "--write-baseline", action="store_true", help="record current findings as the baseline"
+    )
+    lint.add_argument("--select", default=None, help="comma-separated rule IDs/families to run")
+    lint.add_argument("--ignore", default=None, help="comma-separated rule IDs/families to skip")
+    lint.add_argument("--list-rules", action="store_true", help="print the rule catalog")
+
     return parser
 
 
@@ -407,8 +430,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print(applications.to_text())
         return 0
 
-    import os
-
+    from repro._env import scoped_env
     from repro.experiments import common as experiments_common
     from repro.simulation.result_cache import CACHE_DIR_ENV, SweepResultCache, set_default_cache
 
@@ -416,29 +438,22 @@ def _command_experiment(args: argparse.Namespace) -> int:
     previous = set_default_cache(cache)
     # Trace caching is on by default for CLI sweeps (--no-trace-cache to
     # disable).  Both the enable flag and --cache-dir are also exported via
-    # the environment: the in-process override does not survive into
-    # spawn/forkserver sweep workers, but inherited environments do, so
-    # workers replay cached .strc traces regardless of start method.
+    # the (scoped, restored-on-exit) environment: the in-process override
+    # does not survive into spawn/forkserver sweep workers, but inherited
+    # environments do, so workers replay cached .strc traces regardless of
+    # start method.
     previous_trace = experiments_common.set_trace_cache(not args.no_trace_cache)
-    previous_trace_env = os.environ.get(experiments_common.TRACE_CACHE_ENV)
-    os.environ[experiments_common.TRACE_CACHE_ENV] = "0" if args.no_trace_cache else "1"
-    previous_dir = os.environ.get(CACHE_DIR_ENV)
+    env_updates = {
+        experiments_common.TRACE_CACHE_ENV: "0" if args.no_trace_cache else "1",
+    }
     if args.cache_dir:
-        os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
+        env_updates[CACHE_DIR_ENV] = str(args.cache_dir)
     try:
-        table = runners[args.figure]()
+        with scoped_env(env_updates):
+            table = runners[args.figure]()
     finally:
         set_default_cache(previous)
         experiments_common.set_trace_cache(previous_trace)
-        if previous_trace_env is None:
-            os.environ.pop(experiments_common.TRACE_CACHE_ENV, None)
-        else:
-            os.environ[experiments_common.TRACE_CACHE_ENV] = previous_trace_env
-        if args.cache_dir:
-            if previous_dir is None:
-                os.environ.pop(CACHE_DIR_ENV, None)
-            else:
-                os.environ[CACHE_DIR_ENV] = previous_dir
     print(table.to_text())
     if cache is not None:
         stats = cache.stats
@@ -563,6 +578,24 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import lint as lint_module
+
+    forwarded: List[str] = list(args.paths)
+    forwarded += ["--format", args.format]
+    if args.baseline is not None:
+        forwarded += ["--baseline", args.baseline]
+    if args.write_baseline:
+        forwarded.append("--write-baseline")
+    if args.select is not None:
+        forwarded += ["--select", args.select]
+    if args.ignore is not None:
+        forwarded += ["--ignore", args.ignore]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_module.main(forwarded)
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "trace": _command_trace,
@@ -571,6 +604,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "submit": _command_submit,
     "cache": _command_cache,
+    "lint": _command_lint,
 }
 
 

@@ -84,6 +84,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Hashable, Iterator, List, Optional, Sequence, Union
 
+from repro import _env
 from repro.core.pattern import SpatialPattern
 
 _FNV_OFFSET = 0xCBF29CE484222325
@@ -192,7 +193,7 @@ def default_mmap_dir() -> Optional[Path]:
     ``$REPRO_PHT_DIR``, else ``None`` (system temp directory)."""
     if _default_mmap_dir is not _MMAP_DIR_UNSET:
         return Path(_default_mmap_dir) if _default_mmap_dir is not None else None
-    override = os.environ.get(PHT_DIR_ENV)
+    override = _env.read(PHT_DIR_ENV)
     return Path(override).expanduser() if override else None
 
 
@@ -596,7 +597,7 @@ class MmapBackend(_PackedBackend):
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro: ignore[EXC001] -- interpreter teardown: close() may fail arbitrarily mid-GC
             pass
 
 

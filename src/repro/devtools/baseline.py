@@ -1,0 +1,109 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the linter gate CI from day one: pre-existing findings are
+recorded once (``--write-baseline``) and matched on later runs, so only
+*new* findings fail the build.  This repository ships an **empty** baseline
+— every in-tree finding was fixed rather than grandfathered — but the
+mechanism is part of the contract so future rules can land before their
+cleanups do.
+
+Entries are content-addressed, not line-addressed: a finding matches on
+``(rule, path, stripped source line text)`` with a count, so unrelated
+edits that shift line numbers do not invalidate the baseline, while any
+edit to the offending line itself resurfaces the finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.devtools.rules import Finding
+from repro.devtools.walker import FileReport
+
+BASELINE_VERSION = 1
+
+#: Default baseline file name, looked up in the current directory.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+Key = Tuple[str, str, str]  # (rule, path, stripped line text)
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def _key(finding: Finding, report: FileReport) -> Key:
+    return (finding.rule, finding.path, report.line_text(finding.line))
+
+
+def load(path: Union[str, Path]) -> Counter:
+    """Load a baseline file into a key -> count multiset."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path}: expected a v{BASELINE_VERSION} baseline object"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'entries' must be a list")
+    counts: Counter = Counter()
+    for entry in entries:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("rule"), str)
+            or not isinstance(entry.get("path"), str)
+            or not isinstance(entry.get("content"), str)
+        ):
+            raise BaselineError(f"baseline {path}: malformed entry {entry!r}")
+        count = entry.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise BaselineError(f"baseline {path}: bad count in {entry!r}")
+        counts[(entry["rule"], entry["path"], entry["content"])] += count
+    return counts
+
+
+def save(path: Union[str, Path], reports: List[FileReport]) -> int:
+    """Write the findings in ``reports`` as the new baseline; return count."""
+    counts: Counter = Counter()
+    for report in reports:
+        for finding in report.findings:
+            counts[_key(finding, report)] += 1
+    entries = [
+        {"rule": rule, "path": rel, "content": content, "count": count}
+        for (rule, rel, content), count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return sum(counts.values())
+
+
+def apply(
+    reports: List[FileReport], baseline: Counter
+) -> Tuple[List[Finding], int, List[Key]]:
+    """Split findings into (new, baselined_count, unused_entries).
+
+    Matching consumes baseline counts greedily in report order, so N
+    baselined occurrences admit exactly N matching findings and the N+1th
+    is reported as new.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    baselined = 0
+    for report in reports:
+        for finding in report.findings:
+            key = _key(finding, report)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+    unused = sorted(key for key, count in remaining.items() if count > 0)
+    return new, baselined, unused

@@ -1,0 +1,204 @@
+"""Configuration for the :mod:`repro.devtools` analyzer.
+
+Everything path-shaped is matched against the module's path *relative to the
+package root* with ``/`` separators (``core/pht.py``), so the same config
+works for an installed package, a source checkout, and test fixtures.
+
+The defaults encode this repository's contracts:
+
+* hot modules — the batch-lane inner loops where per-record allocation and
+  repeated deep attribute loads are measured regressions;
+* the environment allowlist — :mod:`repro._env` is the one module allowed to
+  touch ``os.environ`` (everything else goes through it, which is what makes
+  the scoped save/restore and the worker export auditable);
+* result-producing modules — DET rules apply everywhere except the analyzer
+  itself, because every module here can sit upstream of a cache key.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+#: Modules whose inner loops are throughput-critical (HOT rules apply).
+DEFAULT_HOT_MODULES: FrozenSet[str] = frozenset(
+    {
+        "simulation/engine.py",
+        "core/pht.py",
+        "trace/binary.py",
+    }
+)
+
+#: The only modules allowed to read or write ``os.environ`` directly.
+DEFAULT_ENV_ALLOWLIST: FrozenSet[str] = frozenset({"_env.py"})
+
+#: Modules exempt from the DET family (not upstream of any result or cache
+#: key).  The analyzer itself is the only exemption: timestamps or entropy
+#: in devtools can never leak into simulation output.
+DEFAULT_NON_RESULT_PREFIXES: Tuple[str, ...] = ("devtools/",)
+
+#: Callee name fragments that mark a call as a digest / cache-key /
+#: serialization sink for the DET taint rules.  Matched against the dotted
+#: callee name's last segment (``dumps``) and the full dotted form
+#: (``json.dumps``).
+SINK_CALLEES: FrozenSet[str] = frozenset(
+    {
+        "json.dump",
+        "json.dumps",
+        "pickle.dump",
+        "pickle.dumps",
+        "marshal.dump",
+        "marshal.dumps",
+    }
+)
+
+#: Substrings of a (lowercased) function name that mark it as a sink in its
+#: own right — our cache-key builders and fingerprint helpers.
+SINK_NAME_FRAGMENTS: Tuple[str, ...] = (
+    "fingerprint",
+    "digest",
+    "cache_key",
+    "canonical",
+    "stable_hash",
+)
+
+#: ``hashlib`` constructors (``hashlib.sha256(...)`` is a sink call).
+HASHLIB_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {"sha1", "sha224", "sha256", "sha384", "sha512", "md5", "blake2b", "blake2s",
+     "sha3_224", "sha3_256", "sha3_384", "sha3_512", "shake_128", "shake_256", "new"}
+)
+
+#: Receiver-name substrings for which ``.update(...)`` / ``.hexdigest()``
+#: counts as a digest sink (``digest.update(chunk)``).
+DIGEST_RECEIVER_FRAGMENTS: Tuple[str, ...] = ("digest", "hash", "sha", "md5")
+
+#: ``random`` module entry points that draw from the unseeded global RNG.
+UNSEEDED_RANDOM_FUNCTIONS: FrozenSet[str] = frozenset(
+    {
+        "random", "randint", "randrange", "randbytes", "choice", "choices",
+        "shuffle", "sample", "uniform", "triangular", "betavariate",
+        "expovariate", "gammavariate", "gauss", "lognormvariate",
+        "normalvariate", "vonmisesvariate", "paretovariate", "weibullvariate",
+        "getrandbits", "seed",
+    }
+)
+
+#: Wall-clock reads (monotonic/perf counters are fine: they measure
+#: durations for display, they cannot reproduce across runs either way and
+#: never feed results).
+WALL_CLOCK_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Ambient-entropy sources (DET003).
+ENTROPY_CALLS: FrozenSet[str] = frozenset(
+    {
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "os.getrandom",
+        "random.SystemRandom",
+    }
+)
+ENTROPY_MODULES: FrozenSet[str] = frozenset({"secrets"})
+
+#: Attribute-chain depth (number of dots) at which a loop-body load in a hot
+#: module is reported.  ``self.result.traffic.record(...)`` has three.
+HOT_ATTR_CHAIN_DEPTH: int = 3
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable classification used by the walker; tests build their own."""
+
+    hot_modules: FrozenSet[str] = DEFAULT_HOT_MODULES
+    env_allowlist: FrozenSet[str] = DEFAULT_ENV_ALLOWLIST
+    non_result_prefixes: Tuple[str, ...] = DEFAULT_NON_RESULT_PREFIXES
+
+    def is_hot(self, relpath: str) -> bool:
+        return relpath in self.hot_modules or any(
+            relpath.endswith("/" + suffix) for suffix in self.hot_modules
+        )
+
+    def is_env_allowlisted(self, relpath: str) -> bool:
+        return relpath in self.env_allowlist or any(
+            relpath.endswith("/" + suffix) for suffix in self.env_allowlist
+        )
+
+    def is_result_producing(self, relpath: str) -> bool:
+        slashed = "/" + relpath
+        return not any(
+            relpath.startswith(prefix) or ("/" + prefix) in slashed
+            for prefix in self.non_result_prefixes
+        )
+
+
+DEFAULT_CONFIG = LintConfig()
+
+
+def stdlib_module_names() -> FrozenSet[str]:
+    """Top-level stdlib module names for the running interpreter.
+
+    ``sys.stdlib_module_names`` exists from Python 3.10; on 3.9 we fall back
+    to a curated list that covers every stdlib module a ``repro`` module
+    could plausibly import (the IMP rule only needs to classify imports that
+    actually appear in the tree, and unknown names err on the side of a
+    finding — exactly what a stdlib-only package wants).
+    """
+    names = getattr(sys, "stdlib_module_names", None)
+    if names is not None:
+        return frozenset(names)
+    return _STDLIB_FALLBACK
+
+
+_STDLIB_FALLBACK: FrozenSet[str] = frozenset(
+    {
+        "__future__", "abc", "aifc", "argparse", "array", "ast", "asyncio",
+        "atexit", "base64", "bdb", "binascii", "bisect", "builtins", "bz2",
+        "calendar", "cgi", "cgitb", "chunk", "cmath", "cmd", "code", "codecs",
+        "codeop", "collections", "colorsys", "compileall", "concurrent",
+        "configparser", "contextlib", "contextvars", "copy", "copyreg",
+        "cProfile", "csv", "ctypes", "curses", "dataclasses", "datetime",
+        "dbm", "decimal", "difflib", "dis", "distutils", "doctest", "email",
+        "encodings", "ensurepip", "enum", "errno", "faulthandler", "fcntl",
+        "filecmp", "fileinput", "fnmatch", "fractions", "ftplib", "functools",
+        "gc", "getopt", "getpass", "gettext", "glob", "graphlib", "grp",
+        "gzip", "hashlib", "heapq", "hmac", "html", "http", "idlelib",
+        "imaplib", "imghdr", "imp", "importlib", "inspect", "io", "ipaddress",
+        "itertools", "json", "keyword", "lib2to3", "linecache", "locale",
+        "logging", "lzma", "mailbox", "mailcap", "marshal", "math",
+        "mimetypes", "mmap", "modulefinder", "multiprocessing", "netrc",
+        "nntplib", "ntpath", "numbers", "operator", "optparse", "os",
+        "ossaudiodev", "pathlib", "pdb", "pickle", "pickletools", "pipes",
+        "pkgutil", "platform", "plistlib", "poplib", "posix", "posixpath",
+        "pprint", "profile", "pstats", "pty", "pwd", "py_compile", "pyclbr",
+        "pydoc", "queue", "quopri", "random", "re", "readline", "reprlib",
+        "resource", "rlcompleter", "runpy", "sched", "secrets", "select",
+        "selectors", "shelve", "shlex", "shutil", "signal", "site", "smtplib",
+        "sndhdr", "socket", "socketserver", "spwd", "sqlite3", "ssl", "stat",
+        "statistics", "string", "stringprep", "struct", "subprocess", "sunau",
+        "symtable", "sys", "sysconfig", "syslog", "tabnanny", "tarfile",
+        "telnetlib", "tempfile", "termios", "test", "textwrap", "threading",
+        "time", "timeit", "tkinter", "token", "tokenize", "trace",
+        "traceback", "tracemalloc", "tty", "turtle", "turtledemo", "types",
+        "typing", "unicodedata", "unittest", "urllib", "uu", "uuid", "venv",
+        "warnings", "wave", "weakref", "webbrowser", "wsgiref", "xdrlib",
+        "xml", "xmlrpc", "zipapp", "zipfile", "zipimport", "zlib", "zoneinfo",
+    }
+)

@@ -1,0 +1,182 @@
+"""Command-line driver: ``python -m repro.devtools.lint [paths...]``.
+
+Exit codes are stable and scripted against in CI:
+
+* ``0`` — no findings (or every finding is covered by the baseline);
+* ``1`` — at least one new finding;
+* ``2`` — usage or configuration error (bad path, unknown rule token,
+  unreadable baseline).
+
+Output is human-oriented by default (``path:line:col: RULE message``, one
+per line, summary last) or machine-oriented with ``--format json`` — one
+JSON object on stdout carrying every finding, counts per rule, and the
+unused-baseline report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.devtools import baseline as baseline_mod
+from repro.devtools.rules import RULES
+from repro.devtools.walker import discover_files, lint_file, resolve_select
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def default_target() -> str:
+    """The installed ``repro`` package directory (lint ourselves by default)."""
+    import repro
+
+    return str(Path(repro.__file__).parent)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.lint",
+        description=(
+            "AST-based determinism / hot-path / fork-safety analyzer for the "
+            "repro package (stdlib-only; see the repro.devtools docstring for "
+            "the rule catalog)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=["human", "json"], default="human", dest="output_format"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: ./{baseline_mod.DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the baseline instead of failing on them",
+    )
+    parser.add_argument(
+        "--select", default=None, help="comma-separated rule IDs/families to run"
+    )
+    parser.add_argument(
+        "--ignore", default=None, help="comma-separated rule IDs/families to skip"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        print(f"{rule_id}  {rule.title}")
+        print(f"    {rule.rationale}")
+    return EXIT_CLEAN
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+
+    try:
+        select = resolve_select(
+            args.select.split(",") if args.select else None,
+            args.ignore.split(",") if args.ignore else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    targets = args.paths or [default_target()]
+    for target in targets:
+        if not Path(target).exists():
+            print(f"error: no such path: {target}", file=sys.stderr)
+            return EXIT_USAGE
+    files = discover_files(targets)
+    if not files:
+        print("error: no Python files under the given paths", file=sys.stderr)
+        return EXIT_USAGE
+
+    reports = [lint_file(path, select=select) for path in files]
+    total = sum(len(report.findings) for report in reports)
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(baseline_mod.DEFAULT_BASELINE_NAME).is_file():
+        baseline_path = baseline_mod.DEFAULT_BASELINE_NAME
+
+    if args.write_baseline:
+        out_path = baseline_path or baseline_mod.DEFAULT_BASELINE_NAME
+        written = baseline_mod.save(out_path, reports)
+        print(f"wrote {written} finding(s) to {out_path}")
+        return EXIT_CLEAN
+
+    baseline_counts = None
+    if baseline_path is not None:
+        try:
+            baseline_counts = baseline_mod.load(baseline_path)
+        except baseline_mod.BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    if baseline_counts:
+        new_findings, baselined, unused = baseline_mod.apply(reports, baseline_counts)
+    else:
+        new_findings = [f for report in reports for f in report.findings]
+        baselined, unused = 0, []
+
+    counts: dict = {}
+    for finding in new_findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+
+    if args.output_format == "json":
+        payload = {
+            "version": 1,
+            "files": len(files),
+            "findings": [f.as_dict() for f in new_findings],
+            "counts": dict(sorted(counts.items())),
+            "baselined": baselined,
+            "unused_baseline": [
+                {"rule": rule, "path": path, "content": content}
+                for rule, path, content in unused
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in new_findings:
+            print(finding.format_human())
+        for rule, path, content in unused:
+            print(
+                f"note: unused baseline entry {rule} at {path}: {content!r}",
+                file=sys.stderr,
+            )
+        summary = (
+            f"{len(new_findings)} finding(s) in {len(files)} file(s)"
+            if new_findings
+            else f"clean: {len(files)} file(s), 0 finding(s)"
+        )
+        if baselined:
+            summary += f" ({baselined} baselined)"
+        print(summary)
+
+    if new_findings:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

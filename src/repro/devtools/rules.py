@@ -1,0 +1,146 @@
+"""Rule framework for the :mod:`repro.devtools` static analyzer.
+
+A *rule* is a callable over one parsed module (:class:`ModuleContext`) that
+yields :class:`Finding` objects.  Rules register themselves in :data:`RULES`
+via the :func:`register` decorator; the walker runs every registered rule
+whose :attr:`Rule.applies` predicate accepts the module.
+
+Rule IDs are ``<FAMILY><3 digits>`` (``DET001``); suppressions may name
+either the full ID or the bare family (``# repro: ignore[DET]``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RULES",
+    "register",
+    "all_rule_ids",
+    "family_of",
+    "is_known_rule_token",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported violation, anchored to a source line."""
+
+    rule: str
+    path: str  # path as given to the walker (repo-relative in CI)
+    line: int  # 1-based
+    col: int  # 0-based, as in the AST
+    message: str
+
+    def format_human(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one module under analysis."""
+
+    path: str  # display path (as passed on the command line)
+    relpath: str  # path relative to the package root, '/'-separated
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    #: Module is on the hot-path list (HOT rules apply).
+    is_hot: bool = False
+    #: Module is the sanctioned ambient-environment accessor (ENV rules skip).
+    is_env_allowlisted: bool = False
+    #: Module feeds simulation results / cache keys (DET rules apply).
+    is_result_producing: bool = True
+    #: Top-level package name whose internal imports the IMP rule allows.
+    package: str = "repro"
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement ``check``."""
+
+    id: str = ""
+    family: str = ""
+    title: str = ""
+    rationale: str = ""
+    example_bad: str = ""
+    example_fix: str = ""
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: Registry of every rule, keyed by rule ID.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Callable[[], Rule]):
+    """Class decorator adding one rule instance to :data:`RULES`."""
+    instance = cls()
+    if not instance.id or not instance.family:
+        raise ValueError(f"rule {cls.__name__} must define id and family")
+    if instance.id in RULES:
+        raise ValueError(f"duplicate rule id {instance.id}")
+    RULES[instance.id] = instance
+    return cls
+
+
+def all_rule_ids() -> List[str]:
+    return sorted(RULES)
+
+
+def all_families() -> Set[str]:
+    return {rule.family for rule in RULES.values()}
+
+
+def family_of(rule_id: str) -> str:
+    rule = RULES.get(rule_id)
+    return rule.family if rule is not None else rule_id.rstrip("0123456789")
+
+
+def is_known_rule_token(token: str) -> bool:
+    """True when ``token`` names a registered rule ID or rule family."""
+    return token in RULES or token in all_families()
+
+
+def expand_rule_tokens(tokens: Iterable[str]) -> Optional[Set[str]]:
+    """Expand IDs/families to a set of rule IDs; ``None`` on an unknown token."""
+    expanded: Set[str] = set()
+    for token in tokens:
+        if token in RULES:
+            expanded.add(token)
+        elif token in all_families():
+            expanded.update(rid for rid, rule in RULES.items() if rule.family == token)
+        else:
+            return None
+    return expanded

@@ -1,0 +1,254 @@
+"""File walking, suppression collection, and rule dispatch.
+
+The walker turns one source file into a :class:`FileReport`: it parses the
+module, classifies it against the :class:`~repro.devtools.config.LintConfig`
+(hot? env-allowlisted? result-producing?), runs every registered rule, and
+applies per-line suppressions.
+
+Suppression syntax (one comment, end of the offending line)::
+
+    # repro: ignore[DET001] -- explicit seed is wired in by the caller
+    # repro: ignore[HOT002,HOT003] -- cold slow path, clarity wins
+
+The justification after ``--`` is mandatory: a suppression without one (or
+naming an unknown rule) suppresses nothing and is itself reported as
+``SUP001``.  A suppression whose rules never fire on its line is reported
+as ``SUP002`` so stale tags cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.devtools import checks  # noqa: F401 - imported to populate RULES
+from repro.devtools.config import DEFAULT_CONFIG, LintConfig
+from repro.devtools.rules import (
+    RULES,
+    Finding,
+    ModuleContext,
+    expand_rule_tokens,
+    family_of,
+    is_known_rule_token,
+)
+
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<rules>[^\]]*)\](?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: ignore[...]`` comment."""
+
+    line: int
+    tokens: List[str]
+    justification: str
+    used: bool = False
+
+    @property
+    def active(self) -> bool:
+        return bool(self.justification) and all(
+            is_known_rule_token(token) for token in self.tokens
+        )
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.tokens or family_of(rule_id) in self.tokens
+
+
+@dataclass
+class FileReport:
+    """Findings for one file plus the source lines baselining needs."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    lines: List[str] = field(default_factory=list)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+def collect_suppressions(source: str) -> List[Suppression]:
+    """All ``# repro: ignore[...]`` comments with their line numbers."""
+    suppressions: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESSION_RE.search(tok.string)
+            if match is None:
+                continue
+            rule_tokens = [t.strip() for t in match.group("rules").split(",") if t.strip()]
+            suppressions.append(
+                Suppression(
+                    line=tok.start[0],
+                    tokens=rule_tokens,
+                    justification=(match.group("why") or "").strip(),
+                )
+            )
+    except tokenize.TokenError:
+        pass  # the AST parse reports the real problem as SYN001
+    return suppressions
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: LintConfig = DEFAULT_CONFIG,
+    package: str = "repro",
+    select: Optional[Set[str]] = None,
+) -> FileReport:
+    """Lint one module's source; ``path`` doubles as the classification key."""
+    relpath = path.replace("\\", "/")
+    report = FileReport(path=path, lines=source.splitlines())
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                rule="SYN001",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return report
+
+    ctx = ModuleContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=report.lines,
+        is_hot=config.is_hot(relpath),
+        is_env_allowlisted=config.is_env_allowlisted(relpath),
+        is_result_producing=config.is_result_producing(relpath),
+        package=package,
+    )
+
+    raw: List[Finding] = []
+    for rule_id in sorted(RULES):
+        if select is not None and rule_id not in select:
+            continue
+        rule = RULES[rule_id]
+        if rule.applies(ctx):
+            raw.extend(rule.check(ctx))
+
+    suppressions = collect_suppressions(source)
+    by_line: Dict[int, List[Suppression]] = {}
+    for sup in suppressions:
+        by_line.setdefault(sup.line, []).append(sup)
+
+    kept: List[Finding] = []
+    for finding in raw:
+        suppressed = False
+        for sup in by_line.get(finding.line, ()):
+            if sup.active and sup.covers(finding.rule):
+                sup.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+
+    for sup in suppressions:
+        if not sup.active:
+            if select is not None and "SUP001" not in select:
+                continue
+            reason = (
+                "missing justification (use # repro: ignore[RULE] -- <why>)"
+                if not sup.justification
+                else "unknown rule " + ", ".join(
+                    repr(t) for t in sup.tokens if not is_known_rule_token(t)
+                )
+            )
+            kept.append(
+                Finding(
+                    rule="SUP001", path=path, line=sup.line, col=0,
+                    message=f"ineffective suppression: {reason}",
+                )
+            )
+        elif not sup.used:
+            if select is not None and "SUP002" not in select:
+                continue
+            kept.append(
+                Finding(
+                    rule="SUP002", path=path, line=sup.line, col=0,
+                    message=(
+                        "suppression for "
+                        + ",".join(sup.tokens)
+                        + " matches no finding on this line; remove it"
+                    ),
+                )
+            )
+
+    kept.sort(key=lambda f: (f.line, f.col, f.rule))
+    report.findings = kept
+    return report
+
+
+def lint_file(
+    path: Union[str, Path],
+    config: LintConfig = DEFAULT_CONFIG,
+    package: str = "repro",
+    select: Optional[Set[str]] = None,
+) -> FileReport:
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return FileReport(
+            path=str(path),
+            findings=[
+                Finding(
+                    rule="SYN001", path=str(path), line=1, col=0,
+                    message=f"cannot read file: {exc}",
+                )
+            ],
+        )
+    return lint_source(source, str(path), config=config, package=package, select=select)
+
+
+def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: Set[Path] = set()
+    ordered: List[Path] = []
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            candidates: Iterable[Path] = sorted(entry_path.rglob("*.py"))
+        else:
+            candidates = [entry_path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return ordered
+
+
+def resolve_select(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> Optional[Set[str]]:
+    """Combine --select/--ignore tokens into a rule-ID set (None = all).
+
+    Raises :class:`ValueError` on an unknown rule or family token.
+    """
+    chosen: Set[str] = set(RULES)
+    if select:
+        expanded = expand_rule_tokens(select)
+        if expanded is None:
+            raise ValueError(f"unknown rule in --select: {','.join(select)}")
+        chosen = expanded
+    if ignore:
+        expanded = expand_rule_tokens(ignore)
+        if expanded is None:
+            raise ValueError(f"unknown rule in --ignore: {','.join(ignore)}")
+        chosen -= expanded
+    return chosen if chosen != set(RULES) else None

@@ -27,6 +27,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import _env
 from repro.core import SMSConfig, SpatialMemoryStreaming
 from repro.prefetch import GHBConfig, GlobalHistoryBuffer, NullPrefetcher, StridePrefetcher
 from repro.prefetch.base import Prefetcher
@@ -107,7 +108,7 @@ def trace_cache_enabled() -> bool:
     """True when generated traces are memoized as ``.strc`` files on disk."""
     if _trace_cache_override is not None:
         return _trace_cache_override
-    return os.environ.get(TRACE_CACHE_ENV, "") == "1"
+    return _env.flag(TRACE_CACHE_ENV)
 
 
 def trace_cache_dir() -> Path:

@@ -66,6 +66,7 @@ def _worker_main(conn, index: int, settings: WorkerSettings) -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
+    from repro._env import export as export_env
     from repro.core.pht import set_default_mmap_dir
     from repro.experiments.common import set_trace_cache
     from repro.serve import jobs
@@ -76,7 +77,9 @@ def _worker_main(conn, index: int, settings: WorkerSettings) -> None:
     )
 
     if settings.cache_dir:
-        os.environ[CACHE_DIR_ENV] = settings.cache_dir
+        # The worker configures itself for its whole lifetime (inherited by
+        # anything it forks in turn), so this is an export, not a scope.
+        export_env(CACHE_DIR_ENV, settings.cache_dir)
     # Ambient per-item memoization for experiment-verb figure runs.
     set_default_cache(SweepResultCache())
     set_trace_cache(settings.trace_cache)
@@ -95,7 +98,7 @@ def _worker_main(conn, index: int, settings: WorkerSettings) -> None:
         try:
             result = jobs.execute_spec(message)
             reply = (True, result)
-        except Exception as exc:  # noqa: BLE001 - reported to the caller
+        except Exception as exc:  # repro: ignore[EXC001] -- any job failure is reported to the caller; the warm worker must survive it
             reply = (False, f"{type(exc).__name__}: {exc}")
         try:
             conn.send(reply)
@@ -120,7 +123,7 @@ def _cleanup_own_temp_files(settings: WorkerSettings) -> None:
                 path.unlink()
             except OSError:
                 pass
-    except Exception:  # noqa: BLE001 - cleanup must never mask the exit path
+    except Exception:  # repro: ignore[EXC001] -- best-effort cleanup must never mask the exit path
         pass
 
 

@@ -225,7 +225,7 @@ class SimulationServer:
             else:
                 self.counters["errors"] += 1
             reply = error_response(exc.code, exc.message, request_id)
-        except Exception as exc:  # noqa: BLE001 - a reply beats a hung client
+        except Exception as exc:  # repro: ignore[EXC001] -- service boundary: an error reply beats a hung client
             self.counters["errors"] += 1
             reply = error_response(500, f"{type(exc).__name__}: {exc}", request_id)
         await self._reply(writer, write_lock, reply)

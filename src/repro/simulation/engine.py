@@ -235,10 +235,21 @@ class SimulationEngine:
             l1.invalidate(block)
 
     def _apply_prefetches(self, cpu: int, prefetches) -> None:
+        # Stream responses can carry many requests per access; bind the
+        # loop-invariant lookups once.  Nothing here can change mid-call:
+        # _measuring/result only change at the warmup boundary in run().
+        block_mask = self._block_mask
+        memory = self.memory
+        l2_contains = memory.l2.contains
+        prefetch_fill = memory.prefetch_fill
+        tracked = self._offchip_prefetched_unused
+        measuring = self._measuring
+        result = self.result
+        record_transfer = result.traffic.record_block_transfer
         for request in prefetches:
-            block = request.address & self._block_mask
-            was_offchip = not self.memory.l2.contains(block)
-            self.memory.prefetch_fill(
+            block = request.address & block_mask
+            was_offchip = not l2_contains(block)
+            prefetch_fill(
                 cpu,
                 request.address,
                 into_l1=request.target_l1,
@@ -247,13 +258,13 @@ class SimulationEngine:
             if was_offchip:
                 # Track blocks the prefetcher brought on-chip; the first demand
                 # access to one of them is an off-chip miss that was covered.
-                self._offchip_prefetched_unused.add(block)
-            if self._measuring:
-                self.result.prefetches_issued += 1
+                tracked.add(block)
+            if measuring:
+                result.prefetches_issued += 1
                 if request.target_l1:
-                    self.result.prefetch_fills_l1 += 1
-                self.result.prefetch_fills_l2 += 1
-                self.result.traffic.record_block_transfer(TrafficClass.PREFETCH)
+                    result.prefetch_fills_l1 += 1
+                result.prefetch_fills_l2 += 1
+                record_transfer(TrafficClass.PREFETCH)
 
     # ------------------------------------------------------------------ #
     def _record_outcome(self, record: MemoryAccess, outcome: AccessOutcomeRecord) -> None:

@@ -37,6 +37,8 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple, Union
 
+from repro import _env
+
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -50,7 +52,7 @@ TRACES_SUBDIR = "traces"
 
 def default_cache_dir() -> Path:
     """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sms``."""
-    override = os.environ.get(CACHE_DIR_ENV)
+    override = _env.read(CACHE_DIR_ENV)
     if override:
         return Path(override).expanduser()
     return Path.home() / ".cache" / "repro-sms"
@@ -179,7 +181,7 @@ class SweepResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return False, None
-        except Exception as exc:  # corrupt entry: recompute, don't fail the sweep
+        except Exception as exc:  # repro: ignore[EXC001] -- corrupt/unpicklable entry: recompute, don't fail the sweep
             self.stats.errors += 1
             self.stats.misses += 1
             warnings.warn(
@@ -210,7 +212,7 @@ class SweepResultCache:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(temp_name, path)
-            except BaseException:
+            except BaseException:  # repro: ignore[EXC001] -- re-raised after removing the staging temp file
                 try:
                     os.unlink(temp_name)
                 except OSError:
@@ -416,6 +418,6 @@ def default_cache() -> Optional[SweepResultCache]:
     """
     if _ambient_cache is not _AMBIENT_UNSET:
         return _ambient_cache
-    if os.environ.get(CACHE_ENABLE_ENV, "") == "1":
+    if _env.flag(CACHE_ENABLE_ENV):
         return SweepResultCache()
     return None

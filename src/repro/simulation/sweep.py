@@ -58,7 +58,7 @@ def _execute_task_guarded(task: SweepTask) -> Tuple[bool, Any]:
     """
     try:
         return True, task.execute()
-    except Exception as exc:  # noqa: BLE001 - re-raised by the caller
+    except Exception as exc:  # repro: ignore[EXC001] -- returned to the parent, which re-raises task failures
         return False, exc
 
 

@@ -204,7 +204,10 @@ class BinaryTraceStream(TraceStream):
         raw = self.path.open("rb")
         try:
             flags, record_count = _read_header(raw, self.path)
-        except Exception:
+        except (OSError, ValueError):
+            # Header validation can only fail these two ways (short read /
+            # bad magic-version); anything else would leak the handle on
+            # purpose so the real bug surfaces undisturbed.
             raw.close()
             raise
         handle: IO[bytes] = (

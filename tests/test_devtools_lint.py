@@ -1,0 +1,646 @@
+"""Tests for the repro.devtools static analyzer.
+
+Golden fixture snippets per rule ID (one violating + one clean each),
+suppression and baseline round-trips, CLI exit codes, and the meta-test
+that certifies the shipped package lints clean with an empty baseline.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.devtools import baseline as baseline_mod
+from repro.devtools import lint as lint_mod
+from repro.devtools.rules import RULES
+from repro.devtools.walker import discover_files, lint_file, lint_source
+
+PACKAGE_DIR = Path(repro.__file__).parent
+
+
+def rules_at(source, path="pkg/module.py"):
+    """Lint dedented ``source``; return the list of (rule, line) pairs."""
+    report = lint_source(textwrap.dedent(source), path)
+    return [(f.rule, f.line) for f in report.findings]
+
+
+def rule_ids(source, path="pkg/module.py"):
+    return [rule for rule, _ in rules_at(source, path)]
+
+
+# --------------------------------------------------------------------------- #
+# DET — determinism
+# --------------------------------------------------------------------------- #
+class TestDET001:
+    def test_unseeded_module_function(self):
+        findings = rules_at(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        )
+        assert findings == [("DET001", 5)]
+
+    def test_from_import_alias(self):
+        assert "DET001" in rule_ids(
+            """
+            from random import randint as roll
+
+            def pick():
+                return roll(1, 6)
+            """
+        )
+
+    def test_unseeded_instance(self):
+        assert "DET001" in rule_ids(
+            """
+            import random
+
+            def make_rng():
+                return random.Random()
+            """
+        )
+
+    def test_clean_seeded_instance(self):
+        assert rule_ids(
+            """
+            import random
+
+            def make_rng(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """
+        ) == []
+
+    def test_not_flagged_outside_result_modules(self):
+        assert rule_ids(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            path="pkg/devtools/helper.py",
+        ) == []
+
+
+class TestDET002:
+    def test_wall_clock(self):
+        findings = rules_at(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert findings == [("DET002", 5)]
+
+    def test_datetime_now_via_from_import(self):
+        assert "DET002" in rule_ids(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """
+        )
+
+    def test_clean_perf_counter(self):
+        assert rule_ids(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """
+        ) == []
+
+
+class TestDET003:
+    def test_uuid4(self):
+        findings = rules_at(
+            """
+            import uuid
+
+            def token():
+                return uuid.uuid4().hex
+            """
+        )
+        assert findings == [("DET003", 5)]
+
+    def test_os_urandom_and_secrets(self):
+        ids = rule_ids(
+            """
+            import os
+            import secrets
+
+            def entropy():
+                return os.urandom(8) + secrets.token_bytes(8)
+            """
+        )
+        assert ids.count("DET003") == 2
+
+    def test_clean_deterministic_uuid5(self):
+        assert rule_ids(
+            """
+            import uuid
+
+            def name_id(name):
+                return uuid.uuid5(uuid.NAMESPACE_DNS, name)
+            """
+        ) == []
+
+
+class TestDET004:
+    def test_hash_into_digest(self):
+        findings = rules_at(
+            """
+            import hashlib
+
+            def cache_key(value):
+                mixed = hash(value)
+                digest = hashlib.sha256()
+                digest.update(str(mixed).encode())
+                return digest.hexdigest()
+            """
+        )
+        assert ("DET004", 7) in findings
+
+    def test_direct_hash_argument(self):
+        assert "DET004" in rule_ids(
+            """
+            import hashlib
+
+            def cache_key(value):
+                digest = hashlib.sha256()
+                digest.update(str(hash(value)).encode())
+                return digest.hexdigest()
+            """
+        )
+
+    def test_clean_repr_into_digest(self):
+        assert rule_ids(
+            """
+            import hashlib
+
+            def cache_key(value):
+                digest = hashlib.sha256()
+                digest.update(repr(value).encode())
+                return digest.hexdigest()
+            """
+        ) == []
+
+
+class TestDET005:
+    def test_set_iteration_near_serialization(self):
+        findings = rules_at(
+            """
+            import json
+
+            def encode(items):
+                names = {item.name for item in items}
+                out = []
+                for name in names:
+                    out.append(name)
+                return json.dumps(out)
+            """
+        )
+        assert ("DET005", 7) in findings
+
+    def test_set_argument_to_sink(self):
+        assert "DET005" in rule_ids(
+            """
+            import json
+
+            def encode(items):
+                return json.dumps(list({i for i in items}))
+            """
+        )
+
+    def test_clean_sorted_iteration(self):
+        assert rule_ids(
+            """
+            import json
+
+            def encode(items):
+                names = {item.name for item in items}
+                return json.dumps(sorted(names))
+            """
+        ) == []
+
+    def test_set_iteration_without_sink_is_fine(self):
+        assert rule_ids(
+            """
+            def total(items):
+                distinct = {i for i in items}
+                count = 0
+                for item in distinct:
+                    count += 1
+                return count
+            """
+        ) == []
+
+
+# --------------------------------------------------------------------------- #
+# ENV / IMP
+# --------------------------------------------------------------------------- #
+class TestENV001:
+    def test_environ_read(self):
+        findings = rules_at(
+            """
+            import os
+
+            def cache_dir():
+                return os.environ.get("REPRO_CACHE_DIR")
+            """
+        )
+        assert findings == [("ENV001", 5)]
+
+    def test_environ_write_and_getenv(self):
+        ids = rule_ids(
+            """
+            import os
+
+            def configure(value):
+                os.environ["X"] = value
+                return os.getenv("Y")
+            """
+        )
+        assert ids.count("ENV001") == 2
+
+    def test_from_import_environ(self):
+        assert "ENV001" in rule_ids(
+            """
+            from os import environ
+
+            def cache_dir():
+                return environ.get("REPRO_CACHE_DIR")
+            """
+        )
+
+    def test_allowlisted_module_is_exempt(self):
+        assert rule_ids(
+            """
+            import os
+
+            def read(name):
+                return os.environ.get(name)
+            """,
+            path="pkg/_env.py",
+        ) == []
+
+
+class TestIMP001:
+    def test_third_party_import(self):
+        findings = rules_at(
+            """
+            import numpy
+            """
+        )
+        assert findings == [("IMP001", 2)]
+
+    def test_third_party_from_import(self):
+        assert "IMP001" in rule_ids(
+            """
+            from scipy.stats import gmean
+            """
+        )
+
+    def test_clean_stdlib_package_and_relative(self):
+        assert rule_ids(
+            """
+            import json
+            from pathlib import Path
+            from repro.core import pht
+            from . import sibling
+            """
+        ) == []
+
+
+# --------------------------------------------------------------------------- #
+# HOT — only in tagged hot modules
+# --------------------------------------------------------------------------- #
+HOT_PATH = "pkg/simulation/engine.py"
+
+
+class TestHOT001:
+    def test_construction_in_loop(self):
+        findings = rules_at(
+            """
+            class Record:
+                pass
+
+            def decode(chunk):
+                out = []
+                for item in chunk:
+                    out.append(Record())
+                return out
+            """,
+            path=HOT_PATH,
+        )
+        assert findings == [("HOT001", 8)]
+
+    def test_raise_in_loop_is_exempt(self):
+        assert rule_ids(
+            """
+            def validate(chunk):
+                for item in chunk:
+                    if item < 0:
+                        raise ValueError(item)
+            """,
+            path=HOT_PATH,
+        ) == []
+
+    def test_not_applied_outside_hot_modules(self):
+        assert rule_ids(
+            """
+            class Record:
+                pass
+
+            def decode(chunk):
+                return [Record() for _ in chunk]
+            """,
+            path="pkg/analysis/charts.py",
+        ) == []
+
+
+class TestHOT002:
+    def test_deep_chain_in_loop(self):
+        findings = rules_at(
+            """
+            def apply(obj, chunk):
+                for item in chunk:
+                    obj.result.traffic.record(item)
+            """,
+            path=HOT_PATH,
+        )
+        assert findings == [("HOT002", 4)]
+
+    def test_clean_hoisted_chain(self):
+        assert rule_ids(
+            """
+            def apply(obj, chunk):
+                record = obj.result.traffic.record
+                for item in chunk:
+                    record(item)
+            """,
+            path=HOT_PATH,
+        ) == []
+
+
+class TestHOT003:
+    def test_try_in_loop(self):
+        findings = rules_at(
+            """
+            def steps(chunk, table):
+                for item in chunk:
+                    try:
+                        table[item] += 1
+                    except KeyError:
+                        table[item] = 1
+            """,
+            path=HOT_PATH,
+        )
+        assert findings == [("HOT003", 4)]
+
+    def test_clean_try_around_loop(self):
+        assert rule_ids(
+            """
+            def steps(chunk, table):
+                try:
+                    for item in chunk:
+                        table[item] += 1
+                finally:
+                    table.clear()
+            """,
+            path=HOT_PATH,
+        ) == []
+
+
+# --------------------------------------------------------------------------- #
+# EXC / SUP / SYN
+# --------------------------------------------------------------------------- #
+class TestEXC001:
+    def test_broad_except(self):
+        findings = rules_at(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    return None
+            """
+        )
+        assert findings == [("EXC001", 5)]
+
+    def test_bare_and_tuple_forms(self):
+        ids = rule_ids(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except (ValueError, BaseException):
+                    pass
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """
+        )
+        assert ids.count("EXC001") == 2
+
+    def test_clean_narrow_except(self):
+        assert rule_ids(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except (OSError, ValueError):
+                    return None
+            """
+        ) == []
+
+
+class TestSuppressions:
+    BROAD = """
+        def load(path):
+            try:
+                return open(path).read()
+            except Exception:{comment}
+                return None
+        """
+
+    def test_justified_suppression_silences(self):
+        source = self.BROAD.format(
+            comment="  # repro: ignore[EXC001] -- sandboxed plugin boundary"
+        )
+        assert rule_ids(source) == []
+
+    def test_family_token_works(self):
+        source = self.BROAD.format(
+            comment="  # repro: ignore[EXC] -- sandboxed plugin boundary"
+        )
+        assert rule_ids(source) == []
+
+    def test_missing_justification_is_sup001_and_keeps_finding(self):
+        source = self.BROAD.format(comment="  # repro: ignore[EXC001]")
+        ids = rule_ids(source)
+        assert "SUP001" in ids and "EXC001" in ids
+
+    def test_unknown_rule_is_sup001(self):
+        source = self.BROAD.format(comment="  # repro: ignore[NOPE123] -- because")
+        ids = rule_ids(source)
+        assert "SUP001" in ids and "EXC001" in ids
+
+    def test_unused_suppression_is_sup002(self):
+        ids = rule_ids(
+            """
+            def fine():
+                return 1  # repro: ignore[DET001] -- stale tag
+            """
+        )
+        assert ids == ["SUP002"]
+
+    def test_syntax_error_is_syn001(self):
+        assert rule_ids("def broken(:\n") == ["SYN001"]
+
+
+# --------------------------------------------------------------------------- #
+# Baseline round-trip
+# --------------------------------------------------------------------------- #
+class TestBaseline:
+    BAD = textwrap.dedent(
+        """
+        import numpy
+        """
+    )
+
+    def test_round_trip(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text(self.BAD)
+        baseline = tmp_path / "baseline.json"
+
+        assert lint_mod.main([str(module)]) == 1
+        assert (
+            lint_mod.main([str(module), "--baseline", str(baseline), "--write-baseline"])
+            == 0
+        )
+        capsys.readouterr()
+        assert lint_mod.main([str(module), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_new_finding_not_masked(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text(self.BAD)
+        baseline = tmp_path / "baseline.json"
+        lint_mod.main([str(module), "--baseline", str(baseline), "--write-baseline"])
+        module.write_text(self.BAD + "import scipy\n")
+        capsys.readouterr()
+        assert lint_mod.main([str(module), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "scipy" in out and "numpy" not in out
+
+    def test_edited_line_resurfaces(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(self.BAD)
+        baseline = tmp_path / "baseline.json"
+        lint_mod.main([str(module), "--baseline", str(baseline), "--write-baseline"])
+        module.write_text("\nimport numpy as np\n")
+        assert lint_mod.main([str(module), "--baseline", str(baseline)]) == 1
+
+    def test_unused_entries_reported(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text(self.BAD)
+        baseline = tmp_path / "baseline.json"
+        lint_mod.main([str(module), "--baseline", str(baseline), "--write-baseline"])
+        module.write_text("import json\n")
+        capsys.readouterr()
+        assert lint_mod.main([str(module), "--baseline", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "unused baseline entry" in err
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text("import json\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("not json")
+        assert lint_mod.main([str(module), "--baseline", str(baseline)]) == 2
+
+
+# --------------------------------------------------------------------------- #
+# CLI behaviour
+# --------------------------------------------------------------------------- #
+class TestCLI:
+    def test_clean_file_exits_zero(self, tmp_path):
+        module = tmp_path / "ok.py"
+        module.write_text("import json\n")
+        assert lint_mod.main([str(module)]) == 0
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert lint_mod.main([str(tmp_path / "absent.py")]) == 2
+
+    def test_unknown_select_is_usage_error(self, tmp_path, capsys):
+        module = tmp_path / "ok.py"
+        module.write_text("import json\n")
+        assert lint_mod.main([str(module), "--select", "BOGUS"]) == 2
+
+    def test_select_limits_rules(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("import numpy\nimport os\nx = os.environ.get('A')\n")
+        assert lint_mod.main([str(module), "--select", "ENV001"]) == 1
+        assert lint_mod.main([str(module), "--select", "DET"]) == 0
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text("import numpy\n")
+        assert lint_mod.main([str(module), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"IMP001": 1}
+        assert payload["findings"][0]["rule"] == "IMP001"
+        assert payload["findings"][0]["line"] == 1
+
+    def test_repro_cli_subcommand(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["lint", str(PACKAGE_DIR)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_every_rule_has_catalog_metadata(self):
+        for rule_id, rule in RULES.items():
+            assert rule.title and rule.rationale, rule_id
+            assert rule_id.startswith(rule.family)
+
+
+# --------------------------------------------------------------------------- #
+# Meta: the shipped package is clean, and injections are caught
+# --------------------------------------------------------------------------- #
+class TestPackageIsClean:
+    def test_package_lints_clean(self):
+        findings = []
+        for path in discover_files([PACKAGE_DIR]):
+            findings.extend(lint_file(path).findings)
+        assert findings == [], "\n".join(f.format_human() for f in findings)
+
+    def test_shipped_baseline_is_empty(self):
+        baseline_path = Path(__file__).resolve().parent.parent / "lint-baseline.json"
+        if not baseline_path.exists():
+            pytest.skip("no committed baseline (installed-package run)")
+        assert baseline_mod.load(baseline_path) == {}
+
+    def test_injected_unseeded_random_is_caught(self):
+        source = (PACKAGE_DIR / "core" / "sms.py").read_text()
+        source += "\n\ndef _jitter():\n    import random\n    return random.random()\n"
+        report = lint_source(source, "src/repro/core/sms.py")
+        assert [f.rule for f in report.findings] == ["DET001"]
+        assert report.findings[0].line == len(source.splitlines())
+
+    def test_injected_numpy_import_is_caught(self):
+        source = "import numpy\n" + (PACKAGE_DIR / "trace" / "stream.py").read_text()
+        report = lint_source(source, "src/repro/trace/stream.py")
+        assert [(f.rule, f.line) for f in report.findings] == [("IMP001", 1)]
