@@ -178,6 +178,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="regenerate synthetic traces instead of replaying cached .strc files",
     )
+    experiment.add_argument(
+        "--resume",
+        action="store_true",
+        help="journal per-point completions and resume an interrupted sweep, "
+        "re-executing only the missing points",
+    )
+    experiment.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=None,
+        help="re-execute a failing sweep point up to N times with exponential "
+        "backoff (default: $REPRO_SWEEP_RETRIES or 0)",
+    )
     _add_pht_backend_arguments(experiment)
 
     convert = subparsers.add_parser(
@@ -220,6 +233,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--scratch-dir",
         default=None,
         help="root for per-worker PHT mmap backing files (default: system temp)",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=2,
+        help="retry a job whose worker crashed or timed out up to N times "
+        "before reporting the failure",
+    )
+    serve.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task deadline in seconds; a job past it gets its worker "
+        "killed and is retried/reported as 504 (default: no deadline)",
+    )
+    serve.add_argument(
+        "--quarantine-after",
+        type=_positive_int,
+        default=3,
+        help="quarantine a job as a poison task (422, no more retries) after "
+        "it kills or wedges workers this many times",
     )
 
     submit = subparsers.add_parser(
@@ -433,9 +467,31 @@ def _command_experiment(args: argparse.Namespace) -> int:
     from repro._env import scoped_env
     from repro.experiments import common as experiments_common
     from repro.simulation.result_cache import CACHE_DIR_ENV, SweepResultCache, set_default_cache
+    from repro.simulation.sweep import (
+        SWEEP_RESUME_ENV,
+        SWEEP_RETRIES_ENV,
+        SweepPolicy,
+        default_policy,
+        last_sweep_report,
+        set_default_policy,
+    )
 
+    if args.resume and args.no_cache:
+        print("error: --resume needs the result cache (drop --no-cache)", file=sys.stderr)
+        return 1
     cache = None if args.no_cache else SweepResultCache(directory=args.cache_dir)
     previous = set_default_cache(cache)
+    # Fault-tolerance policy for every sweep the figure runner performs:
+    # flags override, the environment (REPRO_SWEEP_RESUME/RETRIES) fills in.
+    base_policy = default_policy()
+    policy = SweepPolicy(
+        max_retries=base_policy.max_retries if args.max_retries is None else args.max_retries,
+        backoff_base=base_policy.backoff_base,
+        point_timeout=base_policy.point_timeout,
+        partial=base_policy.partial,
+        journal=base_policy.journal or args.resume,
+    )
+    previous_policy = set_default_policy(policy)
     # Trace caching is on by default for CLI sweeps (--no-trace-cache to
     # disable).  Both the enable flag and --cache-dir are also exported via
     # the (scoped, restored-on-exit) environment: the in-process override
@@ -448,11 +504,16 @@ def _command_experiment(args: argparse.Namespace) -> int:
     }
     if args.cache_dir:
         env_updates[CACHE_DIR_ENV] = str(args.cache_dir)
+    if policy.journal:
+        env_updates[SWEEP_RESUME_ENV] = "1"
+    if policy.max_retries:
+        env_updates[SWEEP_RETRIES_ENV] = str(policy.max_retries)
     try:
         with scoped_env(env_updates):
             table = runners[args.figure]()
     finally:
         set_default_cache(previous)
+        set_default_policy(previous_policy)
         experiments_common.set_trace_cache(previous_trace)
     print(table.to_text())
     if cache is not None:
@@ -460,6 +521,13 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print(
             f"sweep cache: {stats.hits} hit(s), {stats.misses} miss(es), "
             f"{stats.stores} stored ({cache.directory})"
+        )
+    report = last_sweep_report()
+    if args.resume and report is not None:
+        print(
+            f"resume: {report['resumed']} of {report['cached']} reused point(s) "
+            f"journaled by an earlier run; {report['executed']} executed, "
+            f"{report['failed']} failed, {report['retries']} retr(y/ies)"
         )
     return 0
 
@@ -481,6 +549,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         socket_path=args.socket,
         max_queue=args.max_queue,
         cache=SweepResultCache(directory=args.cache_dir),
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        quarantine_after=args.quarantine_after,
     )
     print(
         f"repro serve: listening on {server.address} "
@@ -532,13 +603,30 @@ def _command_submit(args: argparse.Namespace) -> int:
         print("error: pass --verb or --request", file=sys.stderr)
         return 1
 
+    import time
+
+    from repro.serve.protocol import BUSY
+
     client = ServeClient(
         socket_path=args.socket, host=args.host, port=args.port, timeout=args.timeout
     )
     try:
+        deadline = time.monotonic() + args.retry_for
         client.connect(retry_for=args.retry_for)
         try:
-            reply = client.request_raw(payload)
+            # A busy (429) reply is explicit backpressure: retry with capped
+            # exponential backoff while the --retry-for budget lasts, the
+            # same budget that covered the initial connection race.
+            delay = 0.05
+            while True:
+                reply = client.request_raw(payload)
+                if reply.get("ok") or reply.get("code") != BUSY:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                time.sleep(min(delay, 2.0, remaining))
+                delay = min(delay * 2, 2.0)
         finally:
             client.close()
     except ServeError as exc:

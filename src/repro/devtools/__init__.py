@@ -70,6 +70,14 @@ outside ``devtools/``)
   golden tests exist to catch.  Narrow it, or justify it in place (see
   below).
 
+**ROB — service-layer robustness** (``serve/``)
+
+``ROB001`` *blocking receive without a timeout.*  ``Queue.get()`` /
+  ``Connection.recv()`` / socket ``accept()`` with no deadline blocks
+  forever when the peer dies, wedging a dispatch thread or shutdown.
+  Pass a timeout, guard with a timed ``poll``, or justify in place
+  (an idle worker parked on its supervised pipe is the sanctioned case).
+
 **SUP / SYN — meta**
 
 ``SUP001`` malformed suppression (missing justification or unknown rule)

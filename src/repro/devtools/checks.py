@@ -15,6 +15,9 @@ from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.devtools import dataflow
 from repro.devtools.config import (
+    BLOCKING_RECEIVER_FRAGMENTS,
+    BLOCKING_RECV_METHODS,
+    BLOCKING_RECV_PREFIXES,
     ENTROPY_CALLS,
     ENTROPY_MODULES,
     HOT_ATTR_CHAIN_DEPTH,
@@ -458,6 +461,55 @@ class BroadExcept(Rule):
             if isinstance(sub, ast.Name) and sub.id in self._BROAD:
                 names.append(sub.id)
         return ", ".join(names) if names else None
+
+
+# --------------------------------------------------------------------------- #
+# ROB — service-layer robustness
+# --------------------------------------------------------------------------- #
+@register
+class BlockingReceiveWithoutTimeout(Rule):
+    id = "ROB001"
+    family = "ROB"
+    title = "blocking receive without a timeout in the service layer"
+    rationale = (
+        "A Queue.get / Connection.recv / socket accept with no deadline "
+        "blocks forever when its peer dies; in repro.serve that wedges an "
+        "executor thread, a dispatch path, or the whole shutdown sequence. "
+        "Pass a timeout (or guard the recv with a timed poll); where "
+        "unbounded blocking is the contract — an idle worker waiting for "
+        "its next job under parent supervision — justify it in place: "
+        "# repro: ignore[ROB001] -- <why>."
+    )
+    example_bad = "reply = handle.conn.recv()"
+    example_fix = "if handle.conn.poll(deadline): reply = handle.conn.recv()"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        slashed = "/" + ctx.relpath
+        return any(
+            ctx.relpath.startswith(prefix) or ("/" + prefix) in slashed
+            for prefix in BLOCKING_RECV_PREFIXES
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            method = node.func.attr
+            if method not in BLOCKING_RECV_METHODS:
+                continue
+            receiver = (dataflow.dotted_name(node.func.value) or "").lower()
+            if not any(frag in receiver for frag in BLOCKING_RECEIVER_FRAGMENTS):
+                continue
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            if method == "get" and len(node.args) >= 2:
+                continue  # Queue.get(block, timeout): positional deadline
+            yield self.finding(
+                ctx, node,
+                f"blocking .{method}() on {receiver or 'a queue/connection'} "
+                "without a timeout; pass one, guard with a timed poll, or "
+                "justify with # repro: ignore[ROB001] -- <why>",
+            )
 
 
 # --------------------------------------------------------------------------- #

@@ -122,6 +122,22 @@ ENTROPY_MODULES: FrozenSet[str] = frozenset({"secrets"})
 #: module is reported.  ``self.result.traffic.record(...)`` has three.
 HOT_ATTR_CHAIN_DEPTH: int = 3
 
+#: Module prefixes where blocking receives must carry a timeout (ROB001):
+#: the service layer, where one wedged ``recv`` parks an executor thread or
+#: the whole worker-dispatch path forever.
+BLOCKING_RECV_PREFIXES: Tuple[str, ...] = ("serve/",)
+
+#: Methods that block without bound unless given a deadline.
+BLOCKING_RECV_METHODS: FrozenSet[str] = frozenset(
+    {"get", "recv", "recv_bytes", "accept"}
+)
+
+#: Receiver-name substrings marking the receiver as a queue/pipe/socket
+#: (so ``reply.get("ok")`` on a dict is never confused with ``Queue.get()``).
+BLOCKING_RECEIVER_FRAGMENTS: Tuple[str, ...] = (
+    "conn", "queue", "sock", "pipe", "idle",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:

@@ -136,8 +136,13 @@ def _load_or_generate(workload, name: str, num_cpus: int, accesses_per_cpu: int,
                 records.extend(chunk)
             return tuple(records)
     except (OSError, ValueError) as exc:  # corrupt/truncated entry: regenerate
+        from repro.simulation.result_cache import quarantine_file
+
+        # Quarantined next to the sweep cache's corrupt entries (same
+        # side directory, same post-mortem workflow) rather than deleted.
+        quarantine_file(path, trace_cache_dir().parent)
         warnings.warn(
-            f"discarding unreadable trace cache entry {path.name}: {exc}",
+            f"quarantining unreadable trace cache entry {path.name}: {exc}",
             RuntimeWarning,
             stacklevel=2,
         )

@@ -25,6 +25,8 @@ from repro.serve.protocol import (
     BUSY,
     JOB_FAILED,
     MAX_LINE,
+    POISONED,
+    TASK_TIMEOUT,
     VERBS,
     WORKER_LOST,
     ProtocolError,
@@ -43,5 +45,7 @@ __all__ = [
     "BAD_REQUEST",
     "BUSY",
     "JOB_FAILED",
+    "POISONED",
+    "TASK_TIMEOUT",
     "WORKER_LOST",
 ]

@@ -22,6 +22,7 @@ import socket
 import time
 from typing import Any, Dict, Optional
 
+from repro import faults
 from repro.serve.protocol import encode
 
 
@@ -53,10 +54,23 @@ class ServeClient:
         self._file = None
 
     # ------------------------------------------------------------------ #
-    def connect(self, retry_for: float = 0.0, interval: float = 0.05) -> "ServeClient":
+    def connect(
+        self,
+        retry_for: float = 0.0,
+        interval: float = 0.05,
+        max_interval: float = 2.0,
+    ) -> "ServeClient":
         """Open the connection, optionally retrying for ``retry_for`` seconds
-        (covers the race of a client starting alongside the server)."""
+        (covers the race of a client starting alongside the server).
+
+        Retries back off exponentially from ``interval`` up to
+        ``max_interval`` per attempt — a server that needs seconds to warm
+        its pool is not hammered at 20 attempts/second, but the first few
+        retries still catch it the moment the socket appears.  The final
+        sleep is clipped so the deadline itself is never overshot.
+        """
         deadline = time.monotonic() + retry_for
+        delay = interval
         while True:
             try:
                 if self.socket_path:
@@ -68,9 +82,11 @@ class ServeClient:
                         (self.host, self.port), timeout=self.timeout
                     )
             except OSError as exc:
-                if time.monotonic() >= deadline:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     raise ServeError(f"cannot connect to {self._address()}: {exc}") from exc
-                time.sleep(interval)
+                time.sleep(min(delay, max_interval, remaining))
+                delay = min(delay * 2, max_interval)
                 continue
             self._sock = sock
             self._file = sock.makefile("rwb")
@@ -86,6 +102,7 @@ class ServeClient:
             self.connect()
         assert self._file is not None
         try:
+            faults.fire("client.send")
             self._file.write(encode(payload))
             self._file.flush()
             # No size cap on replies: the server bounds *request* lines, but

@@ -40,7 +40,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
-from repro.serve.protocol import JOB_FAILED, WORKER_LOST, ProtocolError
+from repro import faults
+from repro.serve.protocol import JOB_FAILED, TASK_TIMEOUT, WORKER_LOST, ProtocolError
 
 
 @dataclass(frozen=True)
@@ -90,12 +91,15 @@ def _worker_main(conn, index: int, settings: WorkerSettings) -> None:
 
     while True:
         try:
-            message = conn.recv()
+            # Blocking by design: an idle worker has nothing to do but wait
+            # for its next job, and the parent health-checks/terminates it.
+            message = conn.recv()  # repro: ignore[ROB001] -- idle worker loop; the parent owns this worker's lifetime
         except (EOFError, OSError, KeyboardInterrupt):
             break
         if message is None:
             break
         try:
+            faults.fire("pool.worker")
             result = jobs.execute_spec(message)
             reply = (True, result)
         except Exception as exc:  # repro: ignore[EXC001] -- any job failure is reported to the caller; the warm worker must survive it
@@ -167,6 +171,8 @@ class WorkerPool:
         self.executed = 0
         self.failures = 0
         self.crashes = 0
+        self.timeouts = 0
+        self.idle_respawns = 0
 
     # ------------------------------------------------------------------ #
     def start(self) -> "WorkerPool":
@@ -194,19 +200,39 @@ class WorkerPool:
         self._idle.put(handle)
 
     # ------------------------------------------------------------------ #
-    def execute(self, spec: Mapping[str, Any], timeout: Optional[float] = None) -> Any:
+    def execute(
+        self,
+        spec: Mapping[str, Any],
+        timeout: Optional[float] = None,
+        task_timeout: Optional[float] = None,
+    ) -> Any:
         """Run one normalized spec on an idle worker; blocks until done.
 
         Raises :class:`ProtocolError` with code 500 when the job raised,
-        and code 503 when the worker process died mid-job (it is respawned
-        before the error is raised, so the pool never shrinks).
+        503 when the worker process died mid-job, and 504 when
+        ``task_timeout`` (seconds) elapsed without a result — the hung
+        worker is killed.  In the 503/504 cases the worker is respawned
+        before the error is raised, so the pool never shrinks.
         """
         if not self._started or self._closed:
             raise RuntimeError("pool is not running")
-        handle = self._idle.get(timeout=timeout)
+        handle = self._checkout(timeout)
         try:
             handle.conn.send(dict(spec))
-            ok, payload = handle.conn.recv()
+            if task_timeout is not None and not handle.conn.poll(task_timeout):
+                # A wedged task never returns on its own; kill the worker
+                # (SIGTERM would suffice for a sleeping task, but a spinning
+                # one only dies to SIGKILL) and give the caller the
+                # retryable deadline code.
+                with self._lock:
+                    self.timeouts += 1
+                self._replace(handle, kill=True)
+                raise ProtocolError(
+                    TASK_TIMEOUT,
+                    f"worker {handle.index} missed the {task_timeout}s task "
+                    "deadline (killed and respawned)",
+                )
+            ok, payload = handle.conn.recv()  # repro: ignore[ROB001] -- guarded by conn.poll(task_timeout) above; without a deadline, blocking is the contract
         except (EOFError, OSError, BrokenPipeError) as exc:
             with self._lock:
                 self.crashes += 1
@@ -226,14 +252,43 @@ class WorkerPool:
             raise ProtocolError(JOB_FAILED, str(payload))
         return payload
 
-    def _replace(self, handle: _WorkerHandle) -> None:
+    def _checkout(self, timeout: Optional[float]) -> _WorkerHandle:
+        """Take an idle worker, health-checking it before dispatch.
+
+        A worker can die while idle (OOM kill, operator ``kill -9``); its
+        handle still sits in the idle queue.  Without this check the next
+        request would burn itself discovering the corpse (send succeeds
+        into the pipe buffer, recv raises EOF → a needless 503).  Dead
+        idle workers are respawned and the fresh worker is used instead.
+        """
+        while True:
+            handle = self._idle.get(timeout=timeout)
+            if handle.process.is_alive() and not handle.conn.closed:
+                # An idle worker's pipe should be silent; readable means
+                # EOF from a worker that died after is_alive() or stray
+                # data — either way, not a worker to trust with a job.
+                if not handle.conn.poll(0):
+                    return handle
+            with self._lock:
+                self.idle_respawns += 1
+            self._replace(handle)
+            # _replace put the respawned worker on the idle queue; loop to
+            # take it (or any other idle worker) with the same timeout.
+
+    def _replace(self, handle: _WorkerHandle, kill: bool = False) -> None:
         try:
             handle.conn.close()
         except OSError:
             pass
         if handle.process.is_alive():
-            handle.process.terminate()
+            if kill:
+                handle.process.kill()
+            else:
+                handle.process.terminate()
         handle.process.join(timeout=1.0)
+        if handle.process.is_alive():  # pragma: no cover - terminate ignored
+            handle.process.kill()
+            handle.process.join(timeout=1.0)
         if not self._closed:
             self._spawn(handle.index)
 
@@ -244,6 +299,8 @@ class WorkerPool:
                 "executed": self.executed,
                 "failures": self.failures,
                 "crashes": self.crashes,
+                "timeouts": self.timeouts,
+                "idle_respawns": self.idle_respawns,
             }
         return {
             "workers": self.num_workers,

@@ -45,10 +45,17 @@ an identical in-flight request.  Failure::
 
     {"ok": false, "error": "...", "code": 400, "id": ...}
 
-``code`` follows HTTP conventions: 400 malformed/invalid request, 429 the
-server's in-flight job bound is reached (back off and retry), 500 the job
-raised while executing, 503 a worker process died mid-job (it is respawned;
-the request may be retried).
+``code`` follows HTTP conventions: 400 malformed/invalid request, 422 the
+job is quarantined as a poison task (it killed or timed out workers on
+``quarantine_after`` distinct attempts; do not retry), 429 the server's
+in-flight job bound is reached (back off and retry), 500 the job raised
+while executing, 503 a worker process died mid-job (it is respawned; the
+request may be retried), 504 the job missed its per-task deadline (the
+worker is killed and respawned; the request may be retried).
+
+The server retries 503/504 failures internally (bounded, with exponential
+backoff) before reporting them, so the codes a client sees are already
+post-retry.
 """
 
 from __future__ import annotations
@@ -62,9 +69,11 @@ MAX_LINE = 1 << 20
 
 #: Error codes (HTTP-flavoured).
 BAD_REQUEST = 400
+POISONED = 422
 BUSY = 429
 JOB_FAILED = 500
 WORKER_LOST = 503
+TASK_TIMEOUT = 504
 
 #: Verbs the server accepts.
 VERBS = ("simulate", "sweep", "experiment", "status", "cache_stats")

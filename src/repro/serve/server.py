@@ -22,6 +22,15 @@ is:
    executor thread, since pool calls block); the raw result is stored in
    the result cache by the front-end and jsonified for the wire.
 
+Dispatched jobs are fault-tolerant: a worker crash (503) or missed
+per-task deadline (504, when ``task_timeout`` is set) is retried up to
+``max_retries`` times with exponential backoff before the error reaches
+the client.  A job that kills or wedges workers on ``quarantine_after``
+distinct dispatches is *quarantined* as a poison task: further identical
+requests get an immediate 422 instead of taking down more workers — the
+graceful-degradation contract that lets a driving sweep return partial
+results plus a failure manifest instead of aborting.
+
 All coalescing/backpressure bookkeeping lives on the event loop thread;
 only the blocking pool call leaves it.  In-flight tasks are shielded from
 client disconnects: once started, a job always runs to completion and its
@@ -41,6 +50,9 @@ from repro.serve import jobs
 from repro.serve.protocol import (
     BUSY,
     MAX_LINE,
+    POISONED,
+    TASK_TIMEOUT,
+    WORKER_LOST,
     ProtocolError,
     decode_line,
     encode,
@@ -62,15 +74,27 @@ class SimulationServer:
         socket_path: Optional[str] = None,
         max_queue: int = 8,
         cache: Optional[SweepResultCache] = None,
+        max_retries: int = 2,
+        task_timeout: Optional[float] = None,
+        retry_backoff: float = 0.1,
+        quarantine_after: int = 3,
     ) -> None:
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if quarantine_after < 1:
+            raise ValueError(f"quarantine_after must be positive, got {quarantine_after}")
         self.pool = pool
         self.host = host
         self.port = port
         self.socket_path = str(socket_path) if socket_path else None
         self.max_queue = max_queue
         self.cache = cache if cache is not None else SweepResultCache()
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.retry_backoff = retry_backoff
+        self.quarantine_after = quarantine_after
         self.counters: Dict[str, int] = {
             "requests": 0,
             "cache_hits": 0,
@@ -78,7 +102,15 @@ class SimulationServer:
             "executed": 0,
             "busy_rejections": 0,
             "errors": 0,
+            "retries": 0,
+            "quarantined": 0,
         }
+        # Poison-task tracking: per-digest count of worker-lost/timeout
+        # failures (500s are deterministic job errors and do not count),
+        # and the set of digests quarantined once that count reaches
+        # quarantine_after.  Both live on the event-loop thread.
+        self._failure_counts: Dict[str, int] = {}
+        self._quarantined: set = set()
         # asyncio primitives are created inside the running loop (start()),
         # not here: on Python 3.9 building them without a loop is an error.
         self._server: Optional[asyncio.AbstractServer] = None
@@ -234,6 +266,12 @@ class SimulationServer:
     async def _dispatch(self, spec: Mapping[str, Any]):
         """Serve one pool-verb spec; returns ``(raw_result, cached, coalesced)``."""
         digest = jobs.digest_for(spec, self.cache)
+        if digest is not None and digest in self._quarantined:
+            raise ProtocolError(
+                POISONED,
+                f"job quarantined after {self.quarantine_after} worker-fatal "
+                "attempts; not retrying",
+            )
         if digest is not None:
             # Pickle loads run on the default executor, not the loop thread:
             # a multi-megabyte cached result must not stall every other
@@ -264,7 +302,7 @@ class SimulationServer:
     async def _execute(self, spec: Mapping[str, Any], digest: Optional[str]) -> Any:
         loop = asyncio.get_running_loop()
         try:
-            raw = await loop.run_in_executor(self._executor, self.pool.execute, dict(spec))
+            raw = await self._execute_with_retries(loop, spec, digest)
             self.counters["executed"] += 1
             if digest is not None:
                 # The front-end stores the raw result (same convention as
@@ -279,6 +317,46 @@ class SimulationServer:
             if digest is not None:
                 self._inflight.pop(digest, None)
 
+    async def _execute_with_retries(
+        self, loop: asyncio.AbstractEventLoop, spec: Mapping[str, Any], digest: Optional[str]
+    ) -> Any:
+        """Run the blocking pool call, absorbing transient worker faults.
+
+        Worker-lost (503) and deadline (504) failures are retried up to
+        ``max_retries`` times with exponential backoff; each such failure
+        also counts toward the digest's poison score, and a digest that
+        reaches ``quarantine_after`` worker-fatal attempts is quarantined —
+        the current request, and every later identical one, gets 422.
+        Deterministic job errors (500) pass straight through: a task that
+        raises cleanly will raise again, so retrying it is pure waste.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return await loop.run_in_executor(
+                    self._executor,
+                    lambda: self.pool.execute(dict(spec), task_timeout=self.task_timeout),
+                )
+            except ProtocolError as exc:
+                if exc.code not in (WORKER_LOST, TASK_TIMEOUT):
+                    raise
+                if digest is not None:
+                    count = self._failure_counts.get(digest, 0) + 1
+                    self._failure_counts[digest] = count
+                    if count >= self.quarantine_after:
+                        self._quarantined.add(digest)
+                        self.counters["quarantined"] += 1
+                        raise ProtocolError(
+                            POISONED,
+                            f"job quarantined after {count} worker-fatal attempts "
+                            f"(last: {exc.message})",
+                        ) from exc
+                if attempts > self.max_retries:
+                    raise
+                self.counters["retries"] += 1
+                await asyncio.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+
     # ------------------------------------------------------------------ #
     def status(self) -> Dict[str, Any]:
         return {
@@ -286,6 +364,10 @@ class SimulationServer:
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
             "max_queue": self.max_queue,
             "inflight": len(self._inflight),
+            "max_retries": self.max_retries,
+            "task_timeout": self.task_timeout,
+            "quarantine_after": self.quarantine_after,
+            "quarantined_jobs": len(self._quarantined),
             "counters": dict(self.counters),
             "pool": self.pool.stats(),
         }

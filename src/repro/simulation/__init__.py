@@ -21,16 +21,30 @@ from repro.simulation.result_cache import (
     CacheStats,
     SweepResultCache,
     default_cache,
+    quarantine_file,
     set_default_cache,
 )
+from repro.simulation.journal import SweepJournal, journal_path
 from repro.simulation.sampling import ConfidenceInterval, SampledMeasurement, paired_speedup
-from repro.simulation.sweep import SweepRunner, SweepTask, sweep_map
+from repro.simulation.sweep import (
+    FailedPoint,
+    SweepPolicy,
+    SweepRunner,
+    SweepTask,
+    default_policy,
+    last_sweep_report,
+    set_default_policy,
+    sweep_map,
+)
 
 __all__ = [
     "CacheStats",
     "SweepResultCache",
     "default_cache",
+    "quarantine_file",
     "set_default_cache",
+    "SweepJournal",
+    "journal_path",
     "MachineConfig",
     "SimulationConfig",
     "SimulationEngine",
@@ -42,7 +56,12 @@ __all__ = [
     "ConfidenceInterval",
     "SampledMeasurement",
     "paired_speedup",
+    "FailedPoint",
+    "SweepPolicy",
     "SweepRunner",
     "SweepTask",
+    "default_policy",
+    "last_sweep_report",
+    "set_default_policy",
     "sweep_map",
 ]

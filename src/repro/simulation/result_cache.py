@@ -17,7 +17,14 @@ fingerprint of
 
 Entries are pickles stored under ``<digest>.pkl`` and written atomically
 (temp file + ``os.replace``), so concurrent sweep workers and interrupted
-runs can never corrupt the cache; at worst a result is recomputed.
+runs can never corrupt the cache; at worst a result is recomputed.  Each
+entry is framed with a payload checksum (magic ``RSC1`` + SHA-256 +
+pickle bytes): a torn or bit-flipped entry — a crash mid-write on a
+non-atomic filesystem, disk trouble, a truncated restore — is *detected*
+on read, moved to a ``quarantine/`` side directory for inspection, and
+treated as a miss so the sweep regenerates it instead of raising or
+silently serving garbage.  Unframed entries from older code versions load
+as plain pickles.
 
 The cache is opt-in: library entry points take an explicit cache (or none),
 ``repro.cli experiment`` enables it by default with ``--no-cache`` as the
@@ -37,7 +44,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple, Union
 
-from repro import _env
+from repro import _env, faults
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -48,6 +55,15 @@ CACHE_ENABLE_ENV = "REPRO_SWEEP_CACHE"
 #: Subdirectory of the cache root holding memoized ``.strc`` traces
 #: (see :mod:`repro.experiments.common`).
 TRACES_SUBDIR = "traces"
+
+#: Subdirectory of the cache root where corrupt entries are moved (never
+#: deleted: a corrupt entry is evidence worth keeping until pruned).
+QUARANTINE_SUBDIR = "quarantine"
+
+#: Framing for checksummed sweep-cache entries:
+#: ``RSC1`` + 32-byte SHA-256 of the payload + pickle payload.
+ENTRY_MAGIC = b"RSC1"
+_CHECKSUM_BYTES = 32
 
 
 def default_cache_dir() -> Path:
@@ -132,6 +148,7 @@ class CacheStats:
     skipped: int = 0  # tasks with no stable fingerprint
     stores: int = 0
     errors: int = 0  # unreadable/unpicklable entries (treated as misses)
+    quarantined: int = 0  # corrupt entries moved aside instead of served
 
     def as_dict(self) -> dict:
         return {
@@ -140,6 +157,7 @@ class CacheStats:
             "skipped": self.skipped,
             "stores": self.stores,
             "errors": self.errors,
+            "quarantined": self.quarantined,
         }
 
 
@@ -173,34 +191,75 @@ class SweepResultCache:
 
     # ------------------------------------------------------------------ #
     def get(self, digest: str) -> Tuple[bool, Any]:
-        """Return ``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        """Return ``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        Corrupt entries — bad checksum, truncated frame, unpicklable
+        payload — are quarantined (moved to ``quarantine/``) and reported
+        as misses, so one damaged file costs one recompute, never a
+        failed sweep or a silently wrong result.
+        """
         path = self._entry_path(digest)
         try:
-            with path.open("rb") as handle:
-                value = pickle.load(handle)
+            data = path.read_bytes()
         except FileNotFoundError:
             self.stats.misses += 1
             return False, None
-        except Exception as exc:  # repro: ignore[EXC001] -- corrupt/unpicklable entry: recompute, don't fail the sweep
+        except OSError as exc:
             self.stats.errors += 1
             self.stats.misses += 1
             warnings.warn(
-                f"discarding unreadable sweep cache entry {path.name}: {exc}",
+                f"could not read sweep cache entry {path.name}: {exc}",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            return False, None
+        try:
+            value = self._decode(data)
+        except Exception as exc:  # repro: ignore[EXC001] -- corrupt entry: quarantine and recompute, don't fail the sweep
+            self.stats.errors += 1
+            self.stats.quarantined += 1
+            self.stats.misses += 1
+            warnings.warn(
+                f"quarantining corrupt sweep cache entry {path.name}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            quarantine_file(path, self.directory)
             return False, None
         self.stats.hits += 1
         return True, value
 
+    @staticmethod
+    def _decode(data: bytes) -> Any:
+        """Verify and unpickle one entry's bytes (checksummed or legacy)."""
+        if data[: len(ENTRY_MAGIC)] == ENTRY_MAGIC:
+            header_end = len(ENTRY_MAGIC) + _CHECKSUM_BYTES
+            if len(data) < header_end:
+                raise ValueError("truncated entry frame")
+            checksum = data[len(ENTRY_MAGIC):header_end]
+            payload = data[header_end:]
+            if hashlib.sha256(payload).digest() != checksum:
+                raise ValueError("entry checksum mismatch")
+            return pickle.loads(payload)
+        # Legacy unframed entry (pre-checksum code versions).
+        return pickle.loads(data)
+
     def put(self, digest: str, value: Any) -> None:
-        """Store ``value`` under ``digest`` atomically; failures are non-fatal."""
+        """Store ``value`` under ``digest`` atomically; failures are non-fatal.
+
+        The entry is framed as magic + SHA-256(payload) + payload so
+        :meth:`get` can detect torn and corrupted writes.
+        """
         path = self._entry_path(digest)
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            data = ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
+            spec = faults.check("cache.put")
+            if spec is not None:
+                if spec.kind in faults.MANGLING_KINDS:
+                    data = faults.mangle(spec, data)
+                else:
+                    faults.act(spec)
             self.directory.mkdir(parents=True, exist_ok=True)
             # The writer's pid is embedded in the staging name so interrupt
             # cleanup can remove exactly its own leftovers without racing
@@ -210,7 +269,7 @@ class SweepResultCache:
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(data)
                 os.replace(temp_name, path)
             except BaseException:  # repro: ignore[EXC001] -- re-raised after removing the staging temp file
                 try:
@@ -248,6 +307,27 @@ def entry_prefix() -> str:
     return code_fingerprint()[:16]
 
 
+def quarantine_file(path: Path, root: Optional[Union[str, Path]] = None) -> Optional[Path]:
+    """Move a corrupt cache file into ``<root>/quarantine/``; None on failure.
+
+    Shared by the sweep cache and the trace cache: the damaged file is
+    preserved for inspection (and pruning) instead of deleted, and the
+    original name is kept so the offending entry stays identifiable.
+    Pass the cache root as ``root`` so both caches share one quarantine
+    directory; it defaults to the file's own parent.
+    """
+    quarantine_root = Path(root) if root is not None else path.parent
+    destination = quarantine_root / QUARANTINE_SUBDIR / path.name
+    try:
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(str(path), str(destination))
+    except OSError:
+        # Fall back to deletion: a corrupt entry must never be served again.
+        _unlink(path)
+        return None
+    return destination
+
+
 def _tally(paths) -> Tuple[int, int]:
     """(count, total bytes) over ``paths``, tolerating concurrent deletion."""
     count = 0
@@ -267,7 +347,8 @@ def cache_overview(directory: Optional[Union[str, Path]] = None) -> dict:
     ``stale`` entries carry a code fingerprint other than the current
     package's — they can never be served again (every lookup key embeds the
     current fingerprint) and are what :func:`prune_cache` removes.  Temp
-    files are atomic-write staging left behind by interrupted runs.
+    files are atomic-write staging left behind by interrupted runs; the
+    ``quarantine`` count covers corrupt entries moved aside on read.
     """
     root = Path(directory) if directory is not None else default_cache_dir()
     prefix = f"{entry_prefix()}-"
@@ -297,10 +378,15 @@ def cache_overview(directory: Optional[Union[str, Path]] = None) -> dict:
             "temp_files": len(temp),
         }
 
+    quarantine_root = root / QUARANTINE_SUBDIR
+    quarantined, quarantined_bytes = _tally(
+        quarantine_root.glob("*") if quarantine_root.is_dir() else []
+    )
     return {
         "directory": str(root),
         "sweep": section(sweep_fresh, sweep_stale, sweep_temp),
         "traces": section(trace_fresh, trace_stale, trace_temp),
+        "quarantine": {"entries": quarantined, "bytes": quarantined_bytes},
     }
 
 
@@ -314,7 +400,7 @@ def prune_cache(directory: Optional[Union[str, Path]] = None) -> dict:
     """
     root = Path(directory) if directory is not None else default_cache_dir()
     prefix = f"{entry_prefix()}-"
-    removed = {"sweep_entries": 0, "trace_entries": 0, "temp_files": 0}
+    removed = {"sweep_entries": 0, "trace_entries": 0, "temp_files": 0, "quarantined": 0}
     if root.is_dir():
         for path in root.glob("*.pkl"):
             if not path.name.startswith(prefix):
@@ -325,6 +411,11 @@ def prune_cache(directory: Optional[Union[str, Path]] = None) -> dict:
         for path in traces_root.glob("*.strc"):
             if not path.name.startswith(".tmp-") and not path.name.endswith(suffix):
                 removed["trace_entries"] += _unlink(path)
+    quarantine_root = root / QUARANTINE_SUBDIR
+    if quarantine_root.is_dir():
+        for path in quarantine_root.glob("*"):
+            if path.is_file():
+                removed["quarantined"] += _unlink(path)
     removed["temp_files"] = remove_temp_files(root)
     return removed
 

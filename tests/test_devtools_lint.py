@@ -466,6 +466,66 @@ class TestEXC001:
         ) == []
 
 
+class TestROB001:
+    def test_blocking_recv_in_serve_module(self):
+        findings = rules_at(
+            """
+            def pump(conn):
+                return conn.recv()
+            """,
+            path="pkg/serve/pool.py",
+        )
+        assert findings == [("ROB001", 3)]
+
+    def test_queue_get_without_timeout(self):
+        assert rule_ids(
+            """
+            def take(idle_queue):
+                return idle_queue.get()
+            """,
+            path="pkg/serve/pool.py",
+        ) == ["ROB001"]
+
+    def test_timeout_kwarg_is_clean(self):
+        assert rule_ids(
+            """
+            def take(idle_queue, conn):
+                handle = idle_queue.get(timeout=5.0)
+                if conn.poll(1.0):
+                    return conn.recv(), handle  # repro: ignore[ROB001] -- poll-guarded above
+                return None, handle
+            """,
+            path="pkg/serve/pool.py",
+        ) == []
+
+    def test_dict_get_is_not_confused(self):
+        assert rule_ids(
+            """
+            def lookup(reply, spec):
+                return reply.get("ok"), spec.get("item")
+            """,
+            path="pkg/serve/server.py",
+        ) == []
+
+    def test_not_applied_outside_serve(self):
+        assert rule_ids(
+            """
+            def pump(conn):
+                return conn.recv()
+            """,
+            path="pkg/simulation/sweep.py",
+        ) == []
+
+    def test_justified_ignore_silences(self):
+        assert rule_ids(
+            """
+            def pump(conn):
+                return conn.recv()  # repro: ignore[ROB001] -- idle worker loop; parent supervises
+            """,
+            path="pkg/serve/pool.py",
+        ) == []
+
+
 class TestSuppressions:
     BROAD = """
         def load(path):

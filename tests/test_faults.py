@@ -1,0 +1,157 @@
+"""Tests for repro.faults (deterministic fault injection)."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro import faults
+from repro._env import scoped_env
+from repro.faults import FAULTS_ENV, FaultPlan, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test starts and ends with fault injection disabled."""
+    token = faults.install_plan(None)
+    yield
+    faults.install_plan(token)
+
+
+class TestParsing:
+    def test_single_entry(self):
+        plan = FaultPlan.parse("sweep.point:error@3")
+        (spec,) = plan.specs
+        assert spec.site == "sweep.point"
+        assert spec.kind == "error"
+        assert spec.occurrences == (3,)
+        assert not spec.every and spec.after == 0
+
+    def test_when_defaults_to_first_occurrence(self):
+        (spec,) = FaultPlan.parse("cache.put:torn").specs
+        assert spec.occurrences == (1,)
+
+    def test_every_list_and_onward(self):
+        every, listed, onward = FaultPlan.parse(
+            "a:error@*;b:error@2,5;c:error@3+"
+        ).specs
+        assert every.every
+        assert listed.occurrences == (2, 5)
+        assert onward.after == 3
+
+    def test_params(self):
+        (spec,) = FaultPlan.parse("pool.worker:hang@2:seconds=60").specs
+        assert spec.param("seconds", "3600") == "60"
+        assert spec.param("missing", "x") == "x"
+
+    def test_multiple_entries_and_whitespace(self):
+        plan = FaultPlan.parse(" cache.put:torn@1 ; pool.worker:crash@2 ")
+        assert [s.site for s in plan.specs] == ["cache.put", "pool.worker"]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "noseparator",
+            "site:unknownkind@1",
+            "site:error@0",
+            "site:error@x",
+            "site:hang@1:naked",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+
+class TestOccurrenceSelection:
+    def test_counts_are_per_site(self):
+        plan = FaultPlan.parse("a:error@2")
+        assert plan.hit("b") is None  # does not advance site a
+        assert plan.hit("a") is None  # a's 1st
+        assert plan.hit("a") is not None  # a's 2nd fires
+        assert plan.hit("a") is None  # the 3rd does not
+        assert plan.counts() == {"a": 3, "b": 1}
+
+    def test_deterministic_across_identical_plans(self):
+        fired = []
+        for _ in range(2):
+            plan = FaultPlan.parse("s:error@2,4")
+            fired.append([plan.hit("s") is not None for _ in range(5)])
+        assert fired[0] == fired[1] == [False, True, False, True, False]
+
+    def test_onward_fires_from_threshold(self):
+        plan = FaultPlan.parse("s:error@3+")
+        assert [plan.hit("s") is not None for _ in range(5)] == [
+            False, False, True, True, True,
+        ]
+
+
+class TestActivation:
+    def test_no_plan_no_fault(self):
+        faults.fire("anything")  # must be a no-op
+
+    def test_installed_plan_fires(self):
+        faults.install_plan("x:error@1")
+        with pytest.raises(InjectedFault):
+            faults.fire("x")
+
+    def test_install_token_restores(self):
+        outer = faults.install_plan("x:error@*")
+        inner = faults.install_plan(None)
+        faults.fire("x")  # disabled inside the inner scope
+        faults.install_plan(inner)
+        with pytest.raises(InjectedFault):
+            faults.fire("x")
+        faults.install_plan(outer)
+
+    def test_env_plan_activates_and_caches_counters(self):
+        faults.install_plan(faults._PLAN_UNSET)  # re-enable env activation
+        with scoped_env({FAULTS_ENV: "y:error@2"}):
+            faults.fire("y")  # 1st hit: silent
+            with pytest.raises(InjectedFault):
+                faults.fire("y")  # 2nd hit on the same cached plan instance
+
+    def test_check_returns_mangling_spec_without_acting(self):
+        faults.install_plan("w:torn@1")
+        spec = faults.check("w")
+        assert spec is not None and spec.kind == "torn"
+        faults.act(spec)  # mangling kinds have no generic action
+
+
+class TestActions:
+    def test_error(self):
+        with pytest.raises(InjectedFault):
+            faults.act(FaultPlan.parse("s:error@1").specs[0])
+
+    def test_disconnect(self):
+        with pytest.raises(ConnectionResetError):
+            faults.act(FaultPlan.parse("s:disconnect@1").specs[0])
+
+    def test_enospc(self):
+        with pytest.raises(OSError) as excinfo:
+            faults.act(FaultPlan.parse("s:enospc@1").specs[0])
+        assert excinfo.value.errno == errno.ENOSPC
+
+
+class TestMangle:
+    def test_torn_truncates(self):
+        spec = FaultPlan.parse("s:torn@1").specs[0]
+        assert faults.mangle(spec, b"0123456789") == b"01234"
+        assert faults.mangle(spec, b"x") == b"x"[:1]
+
+    def test_flip_corrupts_one_byte(self):
+        spec = FaultPlan.parse("s:flip@1").specs[0]
+        data = b"0123456789"
+        mangled = faults.mangle(spec, data)
+        assert len(mangled) == len(data)
+        assert sum(a != b for a, b in zip(mangled, data)) == 1
+
+    def test_flip_offset_param(self):
+        spec = FaultPlan.parse("s:flip@1:offset=0").specs[0]
+        mangled = faults.mangle(spec, b"abc")
+        assert mangled[0] != ord("a") and mangled[1:] == b"bc"
+
+    def test_flip_empty_payload(self):
+        spec = FaultPlan.parse("s:flip@1").specs[0]
+        assert faults.mangle(spec, b"") == b""

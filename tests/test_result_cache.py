@@ -5,6 +5,7 @@ import pickle
 import pytest
 
 from repro.simulation.result_cache import (
+    QUARANTINE_SUBDIR,
     CacheStats,
     SweepResultCache,
     code_fingerprint,
@@ -83,16 +84,44 @@ class TestStore:
         assert hit and value == {"answer": 25}
         assert cache.stats == CacheStats(hits=1, misses=1, stores=1)
 
-    def test_corrupt_entry_treated_as_miss_and_removed(self, tmp_path):
+    def test_corrupt_entry_treated_as_miss_and_quarantined(self, tmp_path):
         cache = SweepResultCache(tmp_path)
         digest = cache.fingerprint(square, (5,), {})
         cache.put(digest, 25)
         entry = cache._entry_path(digest)
         entry.write_bytes(b"not a pickle")
-        with pytest.warns(RuntimeWarning, match="unreadable sweep cache entry"):
+        with pytest.warns(RuntimeWarning, match="quarantining corrupt sweep cache entry"):
             hit, _ = cache.get(digest)
         assert not hit
         assert not entry.exists()
+        quarantined = tmp_path / QUARANTINE_SUBDIR / entry.name
+        assert quarantined.read_bytes() == b"not a pickle"
+        assert cache.stats.quarantined == 1
+
+    def test_checksum_detects_single_flipped_byte(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        digest = cache.fingerprint(square, (6,), {})
+        cache.put(digest, {"value": 36})
+        entry = cache._entry_path(digest)
+        data = bytearray(entry.read_bytes())
+        data[-1] ^= 0xFF  # still a loadable pickle prefix? checksum must catch it
+        entry.write_bytes(bytes(data))
+        with pytest.warns(RuntimeWarning, match="quarantining corrupt sweep cache entry"):
+            hit, _ = cache.get(digest)
+        assert not hit
+        # The entry regenerates on the next put/get cycle.
+        cache.put(digest, {"value": 36})
+        hit, value = cache.get(digest)
+        assert hit and value == {"value": 36}
+
+    def test_legacy_unframed_entry_still_loads(self, tmp_path):
+        cache = SweepResultCache(tmp_path)
+        digest = cache.fingerprint(square, (7,), {})
+        entry = cache._entry_path(digest)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_bytes(pickle.dumps(49, protocol=pickle.HIGHEST_PROTOCOL))
+        hit, value = cache.get(digest)
+        assert hit and value == 49
 
     def test_clear(self, tmp_path):
         cache = SweepResultCache(tmp_path)
@@ -147,8 +176,11 @@ class TestRunnerIntegration:
         with pytest.raises(RuntimeError):
             SweepRunner(cache=cache).run([SweepTask(key=1, fn=square, args=(1,)),
                                           SweepTask(key=2, fn=boom, args=(2,))])
-        # Nothing was stored for the failing sweep's tasks beyond completed ones.
-        assert cache.stats.stores == 0
+        # Completed points are stored as they finish (that is what makes an
+        # interrupted sweep resumable); the failing point stores nothing.
+        assert cache.stats.stores == 1
+        hit, value = cache.get(cache.fingerprint(square, (1,), {}))
+        assert hit and value == 1
 
     def test_sweep_map_accepts_cache(self, tmp_path):
         cache = SweepResultCache(tmp_path)

@@ -49,18 +49,32 @@ class TestWorkerPool:
             assert pool.execute(SIM_SPEC) == jobs.execute_spec(SIM_SPEC)
             assert pool.stats()["failures"] == 1
 
-    def test_killed_worker_is_detected_and_respawned(self, tmp_path):
+    def test_worker_killed_while_idle_is_respawned_before_dispatch(self, tmp_path):
         with WorkerPool(workers=1, cache_dir=str(tmp_path)) as pool:
             pool.execute(SIM_SPEC)
             victim = pool._handles[0].process
             os.kill(victim.pid, signal.SIGKILL)
             victim.join(timeout=5)
-            with pytest.raises(ProtocolError) as excinfo:
-                pool.execute(SIM_SPEC)
-            assert excinfo.value.code == WORKER_LOST
-            # A replacement worker serves the next request.
+            # The pre-dispatch health check finds the corpse, respawns it,
+            # and the request succeeds — no 503 is burned on discovery.
             assert pool.execute(SIM_SPEC) == jobs.execute_spec(SIM_SPEC)
-            assert pool.stats()["crashes"] == 1
+            stats = pool.stats()
+            assert stats["idle_respawns"] == 1
+            assert stats["crashes"] == 0
+
+    def test_worker_killed_mid_job_raises_worker_lost(self, tmp_path):
+        from repro._env import scoped_env
+        from repro.faults import FAULTS_ENV
+
+        with scoped_env({FAULTS_ENV: "pool.worker:crash@2"}):
+            with WorkerPool(workers=1, cache_dir=str(tmp_path)) as pool:
+                pool.execute(SIM_SPEC)
+                with pytest.raises(ProtocolError) as excinfo:
+                    pool.execute(SIM_SPEC)
+                assert excinfo.value.code == WORKER_LOST
+                # The replacement worker serves the next request.
+                assert pool.execute(SIM_SPEC) == jobs.execute_spec(SIM_SPEC)
+                assert pool.stats()["crashes"] == 1
 
     def test_shutdown_terminates_workers_and_sweeps_their_temp_files(self, tmp_path):
         traces = tmp_path / "traces"

@@ -171,7 +171,7 @@ class _BlockingPool:
     def start(self):
         return self
 
-    def execute(self, spec):
+    def execute(self, spec, task_timeout=None):
         assert self.release.wait(timeout=30)
         self.executed += 1
         return {"item": spec.get("item") or spec.get("workload")}
