@@ -8,6 +8,9 @@ is tracked from PR to PR.  Four sections:
   plus the binary/text speedup;
 * **engine** — end-to-end simulated records/second for the no-prefetch
   baseline and SMS configurations, fed from a binary stream;
+* **lanes_vs_reference** — SMS records/second through the per-record
+  reference path and the lane fast path on the same binary trace, plus the
+  lane speedup (CPU-time based, so shared-runner load does not distort it);
 * **sweep_cache** — wall-clock for the same figure sweep with a cold and a
   warm result cache, plus the warm/cold speedup; and
 * **pht_backends** — store/lookup throughput and resident-set growth for
@@ -125,6 +128,44 @@ def bench_engine(trace: dict, sim_records: int) -> dict:
             "seconds": round(seconds, 3),
             "records_per_second": round(limit / seconds),
         }
+    return result
+
+
+def bench_lanes_vs_reference(trace: dict, sim_records: int, repetitions: int = 2) -> dict:
+    """SMS throughput through both engine paths on the same binary trace.
+
+    The two paths are bit-identical (golden-counter gated); this section
+    tracks how much faster the lane path simulates the same records.  The
+    speedup is computed from CPU seconds so background load on a shared
+    runner inflates neither side; wall-clock figures are reported alongside.
+    """
+    limit = min(sim_records, trace["records"])
+    result = {"records": limit, "prefetcher": "sms"}
+    for label, lanes in (("reference", False), ("lanes", True)):
+        best_wall = best_cpu = None
+        for _ in range(repetitions):
+            engine = SimulationEngine(
+                SimulationConfig.small(num_cpus=NUM_CPUS),
+                lambda cpu: SpatialMemoryStreaming(SMSConfig.paper_practical()),
+                name=label,
+            )
+            stream = stream_trace(trace["paths"]["binary"])
+            wall_start = time.perf_counter()
+            cpu_start = time.process_time()
+            engine.run(stream, limit=limit, warmup_accesses=0, lanes=lanes)
+            cpu_seconds = time.process_time() - cpu_start
+            wall_seconds = time.perf_counter() - wall_start
+            if best_cpu is None or cpu_seconds < best_cpu:
+                best_cpu = cpu_seconds
+                best_wall = wall_seconds
+        result[label] = {
+            "seconds": round(best_wall, 3),
+            "cpu_seconds": round(best_cpu, 3),
+            "records_per_second": round(limit / best_cpu),
+        }
+    result["lane_speedup"] = round(
+        result["reference"]["cpu_seconds"] / result["lanes"]["cpu_seconds"], 2
+    )
     return result
 
 
@@ -306,6 +347,8 @@ def main(argv=None) -> int:
         decode = bench_decode(trace)
         print("benchmarking engine ...", flush=True)
         engine = bench_engine(trace, args.sim_records)
+        print("benchmarking lanes vs reference ...", flush=True)
+        lanes_vs_reference = bench_lanes_vs_reference(trace, args.sim_records)
         print("benchmarking sweep cache ...", flush=True)
         sweep_cache = bench_sweep_cache(args.sweep_scale, directory)
         print("benchmarking PHT backends ...", flush=True)
@@ -321,6 +364,7 @@ def main(argv=None) -> int:
             },
             "decode": decode,
             "engine": engine,
+            "lanes_vs_reference": lanes_vs_reference,
             "sweep_cache": sweep_cache,
             "pht_backends": pht_backends,
         }

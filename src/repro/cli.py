@@ -139,11 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     simulate = subparsers.add_parser("simulate", help="run one workload under a prefetcher")
-    simulate.add_argument("--workload", choices=APPLICATION_NAMES, required=True)
+    source = simulate.add_mutually_exclusive_group(required=True)
+    source.add_argument("--workload", choices=APPLICATION_NAMES)
+    source.add_argument("--trace", metavar="PATH",
+                        help="simulate a trace file (text or .strc) instead of a "
+                             "generated workload; binary traces take the lane fast path")
     simulate.add_argument("--prefetcher", choices=sorted(PREFETCHER_CHOICES), default="sms")
     simulate.add_argument("--cpus", type=int, default=4)
     simulate.add_argument("--accesses-per-cpu", type=int, default=10_000)
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument("--no-lanes", action="store_true",
+                        help="force the per-record reference path even where the "
+                             "lane fast path would apply (also: REPRO_ENGINE_LANES=0)")
     _add_pht_backend_arguments(simulate)
 
     trace = subparsers.add_parser("trace", help="generate a workload trace file")
@@ -325,27 +332,44 @@ def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
 
 # --------------------------------------------------------------------------- #
 def _command_simulate(args: argparse.Namespace) -> int:
-    workload = make_workload(
-        args.workload, num_cpus=args.cpus, accesses_per_cpu=args.accesses_per_cpu, seed=args.seed
-    )
+    lanes = False if args.no_lanes else None
+    if args.trace:
+        from repro.trace.reader import stream_trace
+
+        # Trace files and generated workloads are both replayable streams;
+        # the engine runs them identically (binary traces additionally decode
+        # straight into integer lanes unless --no-lanes).
+        workload = stream_trace(args.trace)
+        metadata = None
+        source = workload.name
+    else:
+        workload = make_workload(
+            args.workload,
+            num_cpus=args.cpus,
+            accesses_per_cpu=args.accesses_per_cpu,
+            seed=args.seed,
+        )
+        metadata = workload.metadata
+        source = args.workload
     config = SimulationConfig.small(num_cpus=args.cpus)
 
-    # The workload is a replayable stream: each run regenerates it lazily, so
-    # arbitrarily long traces are simulated without ever materializing them.
-    baseline = SimulationEngine(config, name="baseline").run(workload)
-    baseline.workload = workload.metadata
+    # The workload is a replayable stream: each run regenerates (or re-reads)
+    # it lazily, so arbitrarily long traces are simulated without ever
+    # materializing them.
+    baseline = SimulationEngine(config, name="baseline").run(workload, lanes=lanes)
+    baseline.workload = metadata
     if args.prefetcher == "sms":
         factory = PREFETCHER_CHOICES["sms"](args.pht_backend, args.pht_shards)
     else:
         factory = PREFETCHER_CHOICES[args.prefetcher]()
     engine = SimulationEngine(config, factory, name=args.prefetcher)
-    result = engine.run(workload)
-    result.workload = workload.metadata
+    result = engine.run(workload, lanes=lanes)
+    result.workload = metadata
 
     table = ResultTable(
         title=(
-            f"{args.workload} under {args.prefetcher} "
-            f"({workload.total_accesses} accesses, {args.cpus} CPUs)"
+            f"{source} under {args.prefetcher} "
+            f"({result.accesses} accesses, {args.cpus} CPUs)"
         ),
         headers=["metric", "value"],
     )
@@ -358,7 +382,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
     table.add_row("L1 coverage", format_percentage(l1.coverage))
     table.add_row("off-chip coverage", format_percentage(l2.coverage))
     table.add_row("overpredictions", format_percentage(l1.overprediction_fraction))
-    speedup = TimingModel().speedup(baseline, result, workload.metadata)
+    speedup = TimingModel().speedup(baseline, result, metadata)
     table.add_row("estimated speedup", f"{speedup:.2f}x")
     print(table.to_text())
     return 0

@@ -70,6 +70,26 @@ class FalseSharingClassifier:
         if key in self._pending:
             self._pending[key].written_chunks.add(self._chunk(writer_address))
 
+    def classify_block_miss(self, cpu: int, block: int) -> bool:
+        """Lane-path :meth:`classify_miss` for an already block-aligned address.
+
+        Same state transitions and counters; returns whether the miss was
+        false sharing instead of the classification enum.  A block-aligned
+        address is its own block and (block sizes being multiples of the
+        sharing granularity) its own chunk, so the per-call power-of-two
+        re-validation inside :func:`~repro.memory.block.block_address` is
+        skipped.
+        """
+        record = self._pending.pop((cpu, block), None)
+        if record is None:
+            self.other_misses += 1
+            return False
+        if block in record.written_chunks:
+            self.true_sharing_misses += 1
+            return False
+        self.false_sharing_misses += 1
+        return True
+
     def classify_miss(self, cpu: int, address: int) -> MissClassification:
         """Classify a miss by CPU ``cpu`` on ``address`` and clear its record."""
         block = block_address(address, self.block_size)

@@ -103,8 +103,14 @@ class MultiprocessorMemorySystem:
             else None
         )
         # Keep the directory's sharer lists consistent with L1 replacements.
+        # The listeners are kept addressable so the engine's lane fast path
+        # can verify a cache's listener list is exactly what construction
+        # registered (and hence safe to inline).
+        self._directory_listeners = []
         for cpu, l1 in enumerate(self._l1s):
-            l1.add_eviction_listener(self._make_directory_evict_listener(cpu))
+            listener = self._make_directory_evict_listener(cpu)
+            self._directory_listeners.append(listener)
+            l1.add_eviction_listener(listener)
         self.total_accesses = 0
         self.total_instructions = 0
 

@@ -168,6 +168,61 @@ class ActiveGenerationTable:
             event.completed.append(victim)
         return event
 
+    def observe_access_lane(self, region: int, offset: int, pc: int, address: int):
+        """Lane-path :meth:`observe_access`: no ``AGTEvent``/``TriggerInfo`` boxed.
+
+        The caller has already split ``address`` into ``(region, offset)``
+        with the shared geometry masks.  State transitions and counters are
+        identical to :meth:`observe_access`; the outcome is encoded in the
+        return value instead of an event object:
+
+        * ``None`` — accumulated / repeat trigger access, nothing to do;
+        * ``True`` — trigger access of a new generation (consult the PHT);
+        * a :class:`GenerationRecord` — an accumulation-table victim whose
+          generation just completed (train the PHT with it).
+        """
+        record = self._accumulation.get(region)
+        if record is not None:
+            record.pattern_bits |= 1 << offset
+            self._accumulation.move_to_end(region)
+            return None
+
+        entry = self._filter.get(region)
+        if entry is None:
+            self.trigger_accesses += 1
+            self.generations_started += 1
+            self._allocate_filter(region, pc, offset, address)
+            return True
+
+        if entry.trigger_offset == offset:
+            self._filter.move_to_end(region)
+            return None
+
+        del self._filter[region]
+        record = GenerationRecord(
+            region=region,
+            trigger_pc=entry.trigger_pc,
+            trigger_offset=entry.trigger_offset,
+            trigger_address=entry.trigger_address,
+            pattern_bits=(1 << entry.trigger_offset) | (1 << offset),
+        )
+        return self._allocate_accumulation(region, record)
+
+    def observe_removal_lane(self, region: int) -> Optional[GenerationRecord]:
+        """Lane-path :meth:`observe_removal` for an already-region-based address.
+
+        Returns the completed :class:`GenerationRecord` (train it), or
+        ``None``; counter effects match :meth:`observe_removal`.
+        """
+        if region in self._filter:
+            del self._filter[region]
+            self.filter_only_generations += 1
+            return None
+        record = self._accumulation.pop(region, None)
+        if record is not None:
+            self.generations_completed += 1
+        return record
+
     def observe_removal(self, block_address: int) -> AGTEvent:
         """Process the eviction or invalidation of a block (Figure 2, step 4)."""
         region = self.geometry.region_base(block_address)

@@ -819,6 +819,29 @@ class PatternHistoryTable:
         self.hits += 1
         return self._pattern(bits)
 
+    def lookup_bits(self, key: Hashable) -> Optional[int]:
+        """Lane-path :meth:`lookup`: same counters/recency, raw bits out.
+
+        Returns the pattern's integer bit mask without interning a
+        :class:`SpatialPattern`; the backends already store plain ints, so
+        the lane train/predict path moves them end to end unboxed.  Counter
+        effects are identical to :meth:`lookup` (a stored all-zero pattern
+        still counts as a hit).
+        """
+        self.lookups += 1
+        # _locate inlined (lane hot path).
+        if self.num_entries is None:
+            set_index = 0
+            h = stable_hash(key) if self._hash_needed else 0
+        else:
+            h = stable_hash(key)
+            set_index = h % self.num_sets
+        bits = self._store.lookup(set_index, h, key, touch=True)
+        if bits is None:
+            return None
+        self.hits += 1
+        return bits
+
     def probe(self, key: Hashable) -> Optional[SpatialPattern]:
         """Return the stored pattern without updating recency or statistics."""
         set_index, h = self._locate(key)
@@ -834,6 +857,24 @@ class PatternHistoryTable:
         self.stores += 1
         set_index, h = self._locate(key)
         if self._store.store(set_index, h, key, pattern.bits, self.merge == "union"):
+            self.replacements += 1
+
+    def store_bits(self, key: Hashable, bits: int) -> None:
+        """Lane-path :meth:`store`: raw bits in, no ``SpatialPattern`` boxed.
+
+        The caller vouches that ``bits`` fits this table's pattern width
+        (the AGT can only set offsets below ``num_blocks``, so lane callers
+        satisfy that by construction); counter effects match :meth:`store`.
+        """
+        self.stores += 1
+        # _locate inlined (lane hot path).
+        if self.num_entries is None:
+            set_index = 0
+            h = stable_hash(key) if self._hash_needed else 0
+        else:
+            h = stable_hash(key)
+            set_index = h % self.num_sets
+        if self._store.store(set_index, h, key, bits, self.merge == "union"):
             self.replacements += 1
 
     def invalidate(self, key: Hashable) -> Optional[SpatialPattern]:

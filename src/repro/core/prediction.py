@@ -68,6 +68,10 @@ class PredictionRegisterFile:
             raise ValueError(f"num_registers must be positive, got {num_registers}")
         self.geometry = geometry
         self.num_registers = num_registers
+        # Hot-path equivalents of geometry.region_base / .blocks_per_region
+        # (both re-validate their power-of-two inputs on every call).
+        self._region_mask = ~(geometry.region_size - 1)
+        self._pattern_width = geometry.blocks_per_region
         self._registers: List[PredictionRegister] = []
         self._next_index = 0
         self.allocations = 0
@@ -100,6 +104,30 @@ class PredictionRegisterFile:
         self.allocations += 1
         return True
 
+    def allocate_bits(
+        self, region: int, bits: int, exclude_offset: Optional[int] = None
+    ) -> bool:
+        """Lane-path :meth:`allocate`: a raw PHT bit mask, no ``SpatialPattern``.
+
+        Same decision sequence and counter effects as :meth:`allocate`; the
+        caller vouches that ``bits`` fits the region's pattern width (true
+        for anything read back out of the PHT for this geometry).
+        """
+        if exclude_offset is not None and 0 <= exclude_offset < self._pattern_width:
+            bits &= ~(1 << exclude_offset)
+        if bits == 0:
+            return True
+        if len(self._registers) >= self.num_registers:
+            self.rejections += 1
+            return False
+        register = PredictionRegister.__new__(PredictionRegister)
+        register.geometry = self.geometry
+        register.region = region & self._region_mask
+        register._remaining = bits
+        self._registers.append(register)
+        self.allocations += 1
+        return True
+
     def drain(self, max_requests: Optional[int] = None) -> List[StreamRequest]:
         """Issue up to ``max_requests`` stream requests, round-robin across registers."""
         requests: List[StreamRequest] = []
@@ -118,6 +146,41 @@ class PredictionRegisterFile:
             else:
                 self._next_index += 1
         return requests
+
+    def drain_addresses(self, max_requests: Optional[int] = None) -> List[int]:
+        """Lane-path :meth:`drain`: raw block addresses, no ``StreamRequest``.
+
+        Identical round-robin order, cursor motion, and ``requests_issued``
+        accounting (batched into one update; nothing in the loop can raise);
+        each popped offset becomes ``region + offset*block_size`` directly
+        (what :meth:`RegionGeometry.block_at_offset` computes for the
+        in-range offsets a register can hold).
+        """
+        addresses: List[int] = []
+        registers = self._registers
+        block_size = self.geometry.block_size
+        next_index = self._next_index
+        append = addresses.append
+        issued = 0
+        while registers:
+            if max_requests is not None and issued >= max_requests:
+                break
+            if next_index >= len(registers):
+                next_index = 0
+            register = registers[next_index]
+            remaining = register._remaining
+            if remaining:
+                offset = (remaining & -remaining).bit_length() - 1
+                register._remaining = remaining = remaining & (remaining - 1)
+                append(register.region + offset * block_size)
+                issued += 1
+            if remaining == 0:
+                registers.pop(next_index)
+            else:
+                next_index += 1
+        self._next_index = next_index
+        self.requests_issued += issued
+        return addresses
 
     def cancel_region(self, region: int) -> int:
         """Drop any active register for ``region`` (e.g. on invalidation); return count.

@@ -49,8 +49,10 @@ outside ``devtools/``)
   (the serve CI job deploys it with no installs); any non-stdlib,
   non-``repro`` import — even try/except-gated — is a finding.
 
-**HOT — hot-path discipline** (``simulation/engine.py``, ``core/pht.py``,
-``trace/binary.py``)
+**HOT — hot-path discipline** (every function of ``simulation/engine.py``,
+``core/pht.py``, ``trace/binary.py``, plus *lane functions* — functions
+whose name contains ``lane``, and closures nested in one — in any module:
+the lane fast path spills into ``core/sms.py`` and ``trace/stream.py``)
 
 ``HOT001`` *object construction in a hot loop.*  Per-record constructor
   calls are the allocation cost the batch-lane work removes; hoist them.
@@ -62,6 +64,11 @@ outside ``devtools/``)
 
 ``HOT003`` *try/except inside a hot loop.*  Hoist the ``try`` around the
   loop or pre-validate the batch.
+
+``HOT004`` *per-record boxing inside a lane-path function.*  Calling the
+  ``LaneChunk`` ``record()``/``records()`` escape hatches, or building
+  ``MemoryAccess`` tuples (directly or via ``tuple.__new__``) from lane
+  data, reintroduces the per-record allocation the lane path removes.
 
 **EXC — exception discipline**
 

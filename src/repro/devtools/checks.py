@@ -307,8 +307,18 @@ class ThirdPartyImport(Rule):
 # HOT — hot-path discipline
 # --------------------------------------------------------------------------- #
 class _HotRule(Rule):
+    """HOT rules cover every function of a hot module, plus lane functions
+    (:func:`dataflow.iter_lane_functions`) wherever they live — the lane
+    fast path spills into ``core/sms.py`` and ``trace/stream.py``, which are
+    not hot modules wholesale."""
+
     def applies(self, ctx: ModuleContext) -> bool:
-        return ctx.is_hot
+        return True
+
+    def hot_functions(self, ctx: ModuleContext):
+        if ctx.is_hot:
+            return dataflow.iter_functions(ctx.tree)
+        return dataflow.iter_lane_functions(ctx.tree)
 
 
 @register
@@ -327,7 +337,7 @@ class LoopAllocation(_HotRule):
     example_fix = "hoist construction out of the loop or use tuple.__new__ batches"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        for fn in dataflow.iter_functions(ctx.tree):
+        for fn in self.hot_functions(ctx):
             seen: Set[Tuple[int, int]] = set()
             for loop in dataflow.loops_in(fn):
                 raised: Set[int] = set()
@@ -367,7 +377,7 @@ class LoopAttributeChain(_HotRule):
     example_fix = "record = self.result.traffic.record  # before the loop"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        for fn in dataflow.iter_functions(ctx.tree):
+        for fn in self.hot_functions(ctx):
             seen: Set[Tuple[int, int]] = set()
             for loop in dataflow.loops_in(fn):
                 value_children: Set[int] = set()
@@ -405,7 +415,7 @@ class LoopTryExcept(_HotRule):
     example_fix = "validate before the loop, or wrap the whole loop in one try"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        for fn in dataflow.iter_functions(ctx.tree):
+        for fn in self.hot_functions(ctx):
             seen: Set[Tuple[int, int]] = set()
             for loop in dataflow.loops_in(fn):
                 for node in dataflow.loop_body_nodes(loop):
@@ -418,6 +428,69 @@ class LoopTryExcept(_HotRule):
                                 "try statement inside a loop in a hot module; "
                                 "hoist it around the loop",
                             )
+
+
+#: Constructors whose call sites box one simulated record each — exactly the
+#: allocation the lane decomposition removes.
+BOXED_RECORD_CONSTRUCTORS = frozenset({"MemoryAccess"})
+
+#: LaneChunk's sanctioned per-record escape hatches; calling them from a lane
+#: function defeats the point of having lanes at all.
+BOX_ESCAPE_METHODS = frozenset({"record", "records"})
+
+#: Receiver-name substrings that mark the receiver as a lane chunk, so that
+#: ``chunk.records()`` is a finding while ``self.result.traffic.record(x)``
+#: (a stats call) is not.
+BOX_RECEIVER_FRAGMENTS = ("chunk", "lane")
+
+
+@register
+class LaneBoxing(_HotRule):
+    id = "HOT004"
+    family = "HOT"
+    title = "per-record boxing inside a lane-path function"
+    rationale = (
+        "Lane functions exist so the engine never materialises one object "
+        "per record.  Calling the LaneChunk record()/records() escape "
+        "hatches, or constructing MemoryAccess tuples (directly or via "
+        "tuple.__new__) from lane data, reintroduces exactly the per-record "
+        "allocation the fast path was built to remove — operate on the flat "
+        "integer lanes, or hand the chunk to the boxed reference path."
+    )
+    example_bad = "def _step_lanes(...):\n    for r in chunk.records(): ..."
+    example_fix = "for i in range(len(chunk)): use chunk.pc[i], chunk.address[i], ..."
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for fn in dataflow.iter_lane_functions(ctx.tree):
+            # Nested defs are lane functions in their own right (yielded
+            # separately), so exclude their bodies here.
+            stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                stack.extend(ast.iter_child_nodes(node))
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dataflow.dotted_name(node.func)
+                if dotted is None:
+                    continue
+                last = dotted.rsplit(".", 1)[-1]
+                if isinstance(node.func, ast.Attribute) and last in BOX_ESCAPE_METHODS:
+                    receiver = dataflow.dotted_name(node.func.value)
+                    receiver_last = (receiver or "").rsplit(".", 1)[-1].lower()
+                    if any(f in receiver_last for f in BOX_RECEIVER_FRAGMENTS):
+                        yield self.finding(
+                            ctx, node,
+                            f"per-record boxing call .{last}() inside lane "
+                            "function; stay on the flat lanes",
+                        )
+                elif last in BOXED_RECORD_CONSTRUCTORS or dotted == "tuple.__new__":
+                    yield self.finding(
+                        ctx, node,
+                        f"boxed record construction {dotted}() inside lane "
+                        "function; the lane path must not allocate records",
+                    )
 
 
 # --------------------------------------------------------------------------- #

@@ -173,6 +173,35 @@ def iter_functions(tree: ast.Module) -> Iterator[FunctionNode]:
             yield node
 
 
+#: Substring of a function name that puts it on the engine's lane fast path
+#: (``_step_lanes``, ``lane_hook``, ``decode_record_lanes``, ...).
+LANE_NAME_FRAGMENT = "lane"
+
+
+def iter_lane_functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    """Functions on the lane fast path, in any module.
+
+    A function qualifies when its own name contains :data:`LANE_NAME_FRAGMENT`
+    or when it is nested (at any depth) inside one that does — the fused
+    closures a ``lane_hook()`` builder returns are the hottest code in the
+    tree despite carrying short names like ``hook``.  Class bodies do not
+    propagate the mark: ``LaneChunk.records`` is not a lane function merely
+    for living on a lane-named class.
+    """
+
+    def walk(node: ast.AST, in_lane: bool) -> Iterator[FunctionNode]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                lane = in_lane or LANE_NAME_FRAGMENT in child.name.lower()
+                if lane:
+                    yield child
+                yield from walk(child, lane)
+            else:
+                yield from walk(child, in_lane)
+
+    yield from walk(tree, False)
+
+
 def scan_function(fn: FunctionNode, imports: ImportMap) -> FunctionFacts:
     """One pass over a function body collecting taint and sink facts."""
     facts = FunctionFacts(node=fn)

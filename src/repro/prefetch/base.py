@@ -79,6 +79,30 @@ class Prefetcher:
         """Observe a block leaving the cache level this prefetcher trains on."""
         return EMPTY_RESPONSE
 
+    def lane_hook(self):
+        """Per-access callable for the engine's lane fast path, or ``None``.
+
+        A prefetcher that can observe demand accesses without a boxed record
+        returns ``fn(pc, address) -> Optional[List[int]]`` — the byte
+        addresses it wants prefetched, or ``None`` when there is nothing to
+        issue.  Its effects must be bit-identical to :meth:`on_access` for
+        accesses that never force evictions.  Returning ``None`` here (the
+        default) makes the engine fall back to the boxed reference path.
+        """
+        return None
+
+    def lane_eviction_hook(self):
+        """Per-eviction callable for the lane fast path, or ``None``.
+
+        A prefetcher that can observe a (non-invalidation) eviction without
+        issuing prefetches or forced evictions returns ``fn(block_address) ->
+        None``; its effects must be bit-identical to
+        ``on_eviction(block_address, invalidated=False)``.  Returning ``None``
+        (the default) makes the engine call :meth:`on_eviction` and apply the
+        response generically.
+        """
+        return None
+
     def finalize(self) -> PrefetcherResponse:
         """Called once at end of trace; flush any internal training state."""
         return EMPTY_RESPONSE

@@ -30,8 +30,12 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
+from repro import _env
+from repro.coherence.false_sharing import MissClassification
 from repro.coherence.multiprocessor import AccessOutcomeRecord, MultiprocessorMemorySystem
+from repro.coherence.protocol import CoherenceState, DirectoryEntry
 from repro.interconnect.traffic import BandwidthAccountant, TrafficClass
+from repro.memory.cache import CacheLine, EvictedLine
 from repro.memory.hierarchy import MemoryLevel
 from repro.prefetch.base import NullPrefetcher, Prefetcher
 from repro.simulation.config import SimulationConfig
@@ -40,9 +44,28 @@ from repro.trace.stream import (
     DEFAULT_CHUNK_SIZE,
     TraceStream,
     iter_chunks,
+    lane_chunk_iterator,
     resolve_warmup_count,
 )
 from repro.workloads.base import WorkloadMetadata
+
+#: Environment switch for the lane fast path (``0``/``false``/``off`` disable).
+LANES_ENV_VAR = "REPRO_ENGINE_LANES"
+
+
+def _limit_lane_chunks(chunks, limit: int):
+    """Truncate a lane-chunk iterator to ``limit`` records (lazy ``islice``)."""
+    remaining = limit
+    if remaining <= 0:
+        return
+    for chunk in chunks:
+        size = len(chunk)
+        if size < remaining:
+            remaining -= size
+            yield chunk
+        else:
+            yield chunk.slice(0, remaining)
+            return
 
 #: A factory building the prefetcher for one CPU.
 PrefetcherFactory = Callable[[int], Prefetcher]
@@ -180,8 +203,13 @@ class SimulationEngine:
         ]
         self._l1s = [self.memory.l1(cpu) for cpu in range(self.config.num_cpus)]
         # Forward L1 evictions/invalidations to the owning CPU's prefetcher.
+        # Keep the listeners addressable so the lane fast path can verify the
+        # listener lists are exactly the construction-time pair.
+        self._l1_eviction_listeners = []
         for cpu in range(self.config.num_cpus):
-            self.memory.l1(cpu).add_eviction_listener(self._make_eviction_listener(cpu))
+            listener = self._make_eviction_listener(cpu)
+            self._l1_eviction_listeners.append(listener)
+            self.memory.l1(cpu).add_eviction_listener(listener)
         # Retire off-chip-coverage tracking for blocks that leave the chip, so
         # the side table stays O(cache state) on arbitrarily long traces.
         self.memory.l2.add_eviction_listener(self._on_l2_eviction)
@@ -362,12 +390,63 @@ class SimulationEngine:
             warmup_accesses=warmup_accesses,
         )
 
+    def _resolve_lanes(self, lanes: Optional[bool]) -> bool:
+        """Whether to attempt the lane fast path: argument, then env, then on."""
+        if lanes is not None:
+            return bool(lanes)
+        value = _env.read(LANES_ENV_VAR)
+        if value is not None:
+            return value.strip().lower() not in ("0", "false", "off", "")
+        return True
+
+    def _lane_hooks(self):
+        """Per-CPU lane dispatch table, or ``None`` when any CPU needs boxing.
+
+        Each slot is ``None`` (a :class:`NullPrefetcher`: skip the per-access
+        prefetcher call entirely) or ``(fn, target_l1)`` where ``fn`` is the
+        prefetcher's :meth:`~repro.prefetch.base.Prefetcher.lane_hook`.  A
+        single prefetcher without a lane hook (GHB, sectored-trainer SMS, ...)
+        vetoes the whole lane path — mixed per-record dispatch is not worth
+        its complexity.
+        """
+        hooks = []
+        for prefetcher in self.prefetchers:
+            if type(prefetcher) is NullPrefetcher:
+                hooks.append(None)
+                continue
+            fn = prefetcher.lane_hook()
+            if fn is None:
+                return None
+            hooks.append((fn, prefetcher.streams_into_l1))
+        return hooks
+
+    def _lane_path(self, trace, limit: Optional[int], chunk_size: int):
+        """Return ``(chunks, hooks)`` for the lane fast path, or ``None``.
+
+        Falls back to the reference path when the trace cannot produce lane
+        chunks (text traces, generators, materialized lists), when any
+        prefetcher lacks a lane hook, or when the replacement policy is not
+        LRU (the fused loop inlines LRU bookkeeping).
+        """
+        if self.config.replacement != "lru":
+            return None
+        hooks = self._lane_hooks()
+        if hooks is None:
+            return None
+        chunks = lane_chunk_iterator(trace, chunk_size)
+        if chunks is None:
+            return None
+        if limit is not None:
+            chunks = _limit_lane_chunks(chunks, limit)
+        return chunks, hooks
+
     def run(
         self,
         trace: Iterable[MemoryAccess],
         limit: Optional[int] = None,
         warmup_accesses: Optional[int] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lanes: Optional[bool] = None,
     ) -> SimulationResult:
         """Run ``trace`` through the engine and return the measurement-phase result.
 
@@ -380,8 +459,45 @@ class SimulationEngine:
         the trace's length hint) warm caches and predictor state; counters
         are reset at the warmup boundary.  ``limit`` lazily truncates the
         trace, doing finite work even on an endless generator.
+
+        ``lanes`` selects the lane fast path: ``.strc`` streams are decoded
+        straight into flat integer lanes and simulated by :meth:`_step_lanes`
+        without boxing a :class:`MemoryAccess` per record.  The default
+        (``None``) consults the ``REPRO_ENGINE_LANES`` environment variable
+        and otherwise enables the path; it silently falls back to the
+        reference loop whenever the trace or a prefetcher cannot go
+        lane-to-lane.  Both paths are bit-identical (gated by the golden
+        counter tests).
         """
         warmup_count = self._resolve_warmup_count(trace, limit, warmup_accesses)
+
+        lane_path = (
+            self._lane_path(trace, limit, chunk_size) if self._resolve_lanes(lanes) else None
+        )
+        if lane_path is not None:
+            lane_chunks, hooks = lane_path
+            self._measuring = warmup_count == 0
+            if self._measuring:
+                self._reset_measurement()
+            step_lanes = self._step_lanes
+            remaining_warmup = warmup_count
+            for chunk in lane_chunks:
+                if not self._measuring:
+                    head = len(chunk)
+                    if remaining_warmup < head:
+                        head = remaining_warmup
+                        step_lanes(chunk.slice(0, head), hooks)
+                        chunk = chunk.slice(head, None)
+                        remaining_warmup = 0
+                        self._reset_measurement()
+                        self._measuring = True
+                    else:
+                        step_lanes(chunk, hooks)
+                        remaining_warmup -= head
+                        continue
+                step_lanes(chunk, hooks)
+            return self._finish_run(trace)
+
         if limit is None and isinstance(trace, TraceStream):
             chunks = trace.iter_chunks(chunk_size)
         else:
@@ -415,6 +531,9 @@ class SimulationEngine:
             for record in chunk:
                 step(record)
 
+        return self._finish_run(trace)
+
+    def _finish_run(self, trace) -> SimulationResult:
         if not self._measuring:
             # The stream ended inside the warmup phase (overestimated length
             # hint, or warmup_accesses/limit beyond the trace).  Reset so the
@@ -447,6 +566,644 @@ class SimulationEngine:
             self._apply_forced_evictions(cpu, response.forced_evictions)
         if response.prefetches:
             self._apply_prefetches(cpu, response.prefetches)
+
+    def _lane_inline_evictions(self) -> bool:
+        """True when every eviction-listener list is exactly the pair that
+        construction registered (the memory system's directory-evict listener
+        plus the engine's prefetcher forwarder; only the engine's retirement
+        hook on the L2).  Then :meth:`_step_lanes` may run that work inline
+        per eviction instead of through the listener closures.  Any extra
+        listener (tests, tooling) forces the generic dispatch, which stays
+        correct for arbitrary listener lists."""
+        memory = self.memory
+        directory_listeners = getattr(memory, "_directory_listeners", None)
+        if directory_listeners is None or len(directory_listeners) != len(memory._l1s):
+            return False
+        for cpu, l1 in enumerate(memory._l1s):
+            expected = [directory_listeners[cpu], self._l1_eviction_listeners[cpu]]
+            if l1._eviction_listeners != expected:
+                return False
+        return memory.l2._eviction_listeners == [self._on_l2_eviction]
+
+    def _step_lanes(self, chunk, hooks) -> None:
+        """Simulate one lane chunk with the same semantics as :meth:`_step`.
+
+        One fused loop walks the flat integer lanes and inlines the work of
+        ``memory.access`` (directory transaction, L1 lookup/install, miss
+        classification, L2 lookup/install), ``_record_outcome``, and
+        ``_apply_prefetches``.  No ``MemoryAccess`` / ``AccessResult`` /
+        ``AccessOutcomeRecord`` / ``CoherenceActions`` is ever constructed;
+        the only objects built per event are the cache lines and directory
+        entries that *are* the simulated state.  Counter effects are
+        accumulated in locals and flushed once per chunk (all shared-object
+        reads below are loop-invariant: ``result`` / ``_measuring`` / the
+        tracked set only change at warmup boundaries between chunks).
+
+        Bit-identity with the reference path is load-bearing and covered by
+        the golden-counter tests; event *order* within a record mirrors the
+        reference exactly (directory before L1, install before
+        classification, classification before L2, eviction listeners fired
+        mid-install in registration order).
+        """
+        memory = self.memory
+        num_cpus = memory.num_cpus
+        block_mask = self._block_mask
+
+        directory = memory.directory
+        entries = directory._entries
+        modified = CoherenceState.MODIFIED
+        shared = CoherenceState.SHARED
+        invalid = CoherenceState.INVALID
+
+        classifier = memory.classifier
+        classify_block_miss = record_invalidation = record_remote_write = None
+        if classifier is not None:
+            classify_block_miss = classifier.classify_block_miss
+            record_invalidation = classifier.record_invalidation
+            record_remote_write = classifier.record_remote_write
+
+        l1s = memory._l1s
+        l1_sets = [l1._sets for l1 in l1s]
+        l1_policies = [l1._policies for l1 in l1s]
+        l1_stats = [l1.stats for l1 in l1s]
+        l1_listeners = [l1._eviction_listeners for l1 in l1s]
+        l1_invalidate = [l1.invalidate for l1 in l1s]
+        l1_assoc = l1s[0].associativity
+        l1_two_way = l1_assoc == 2
+        l1_shift = l1s[0]._index_shift
+        l1_set_mask = l1s[0]._set_mask
+
+        l2 = memory.l2
+        l2_sets = l2._sets
+        l2_policies = l2._policies
+        l2_stats = l2.stats
+        l2_listeners = l2._eviction_listeners
+        l2_assoc = l2.associativity
+        l2_shift = l2._index_shift
+        l2_set_mask = l2._set_mask
+
+        prefetchers = self.prefetchers
+        apply_forced = self._apply_forced_evictions
+        apply_prefetches = self._apply_prefetches
+        inline_evictions = self._lane_inline_evictions()
+
+        # Per-CPU eviction handlers for the inlined listener path: ``None``
+        # skips the call (NullPrefetcher's on_eviction is a stateless no-op),
+        # a lane eviction hook runs unboxed, anything else falls back to the
+        # boxed on_eviction + response application.
+        evict_hooks = []
+        for hook_cpu, prefetcher in enumerate(prefetchers):
+            if type(prefetcher) is NullPrefetcher:
+                evict_hooks.append(None)
+                continue
+            fn = prefetcher.lane_eviction_hook()
+            if fn is None:
+
+                def fn(block, _cpu=hook_cpu, _prefetcher=prefetcher):
+                    response = _prefetcher.on_eviction(block, invalidated=False)
+                    if response.forced_evictions:
+                        apply_forced(_cpu, response.forced_evictions)
+                    if response.prefetches:
+                        apply_prefetches(_cpu, response.prefetches)
+
+            evict_hooks.append(fn)
+
+        measuring = self._measuring
+        tracked = self._offchip_prefetched_unused
+        latest = self._instruction_latest
+        inst_max = [latest.get(cpu, 0) for cpu in range(num_cpus)]
+        total_inst = memory.total_instructions
+
+        # Cache-statistics tallies, flushed per chunk.  Mid-chunk readers of
+        # hit/access counters would see deferred values, but the only
+        # mid-chunk code is the construction-time eviction listeners, which
+        # read none of these (eviction-side stats stay live in the install
+        # helpers).
+        zeros = [0] * num_cpus
+        c1_reads = list(zeros)
+        c1_writes = list(zeros)
+        c1_hits = list(zeros)
+        c1_pf_hits = list(zeros)
+        c1_read_misses = list(zeros)
+        c1_write_misses = list(zeros)
+        c1_pf_fills = list(zeros)
+        c2_reads = c2_writes = c2_hits = c2_pf_hits = 0
+        c2_read_misses = c2_write_misses = c2_pf_fills = 0
+
+        def install_l1_fill(cpu, cache_set, policy, block):
+            """Inlined ``SetAssociativeCache._install`` of a prefetch fill
+            (dirty=False, prefetched=True, used=False) into one L1 set, with
+            the construction-time eviction listeners (directory evict +
+            prefetcher forwarding) themselves inlined when verified safe.
+            Demand installs are inlined directly in the record loop."""
+            last_use = policy._last_use
+            if len(cache_set) >= l1_assoc:
+                stats = l1_stats[cpu]
+                if l1_two_way:
+                    # A full 2-way set is exactly two ways; clock values are
+                    # unique, so the direct compare picks min()'s victim.
+                    w0, w1 = cache_set
+                    victim_way = w0 if last_use[w0] < last_use[w1] else w1
+                else:
+                    victim_way = min(cache_set, key=last_use.__getitem__)
+                victim = cache_set.pop(victim_way)
+                del last_use[victim_way]
+                stats.evictions += 1
+                if victim.dirty:
+                    stats.dirty_evictions += 1
+                if victim.prefetched and not victim.used:
+                    stats.prefetched_evicted_unused += 1
+                vblock = victim.block_addr
+                if inline_evictions:
+                    # Directory.evict(cpu, vblock), sans boxed entry lookup.
+                    entry = entries.get(vblock)
+                    if entry is not None:
+                        sharers = entry.sharers
+                        sharers.discard(cpu)
+                        if entry.owner == cpu:
+                            entry.owner = None
+                        if not sharers:
+                            entry.state = invalid
+                            entry.owner = None
+                        elif entry.state is modified and entry.owner is None:
+                            entry.state = shared
+                    # Engine listener: retire tracked blocks that left the
+                    # chip (residency scans inlined; vblock is block-aligned
+                    # so Cache.contains' masking is a no-op).
+                    if vblock in tracked:
+                        resident = False
+                        for line in l2_sets[(vblock >> l2_shift) & l2_set_mask].values():
+                            if line.block_addr == vblock:
+                                resident = True
+                                break
+                        if not resident:
+                            vindex = (vblock >> l1_shift) & l1_set_mask
+                            for sets in l1_sets:
+                                for line in sets[vindex].values():
+                                    if line.block_addr == vblock:
+                                        resident = True
+                                        break
+                                if resident:
+                                    break
+                        if not resident:
+                            tracked.discard(vblock)
+                            self._offchip_prefetched_wasted += 1
+                    handler = evict_hooks[cpu]
+                    if handler is not None:
+                        handler(vblock)
+                else:
+                    evicted_line = EvictedLine(
+                        vblock, victim.dirty, victim.prefetched, victim.used, False
+                    )
+                    for listener in l1_listeners[cpu]:
+                        listener(evicted_line)
+                way = victim_way
+            else:
+                way = 0
+                while way in cache_set:
+                    way += 1
+            cache_set[way] = CacheLine(block, False, True, False)
+            policy._clock = clock = policy._clock + 1
+            last_use[way] = clock
+
+        def install_l2_fill(cache_set, policy, block):
+            """Inlined ``_install`` of a prefetch fill into one L2 set (sole
+            listener: the engine's tracked-block retirement hook)."""
+            last_use = policy._last_use
+            if len(cache_set) >= l2_assoc:
+                victim_way = min(cache_set, key=last_use.__getitem__)
+                victim = cache_set.pop(victim_way)
+                del last_use[victim_way]
+                l2_stats.evictions += 1
+                if victim.dirty:
+                    l2_stats.dirty_evictions += 1
+                if victim.prefetched and not victim.used:
+                    l2_stats.prefetched_evicted_unused += 1
+                vblock = victim.block_addr
+                if inline_evictions:
+                    if vblock in tracked:
+                        resident = False
+                        vindex = (vblock >> l1_shift) & l1_set_mask
+                        for sets in l1_sets:
+                            for line in sets[vindex].values():
+                                if line.block_addr == vblock:
+                                    resident = True
+                                    break
+                            if resident:
+                                break
+                        if not resident:
+                            tracked.discard(vblock)
+                            self._offchip_prefetched_wasted += 1
+                else:
+                    evicted_line = EvictedLine(
+                        vblock, victim.dirty, victim.prefetched, victim.used, False
+                    )
+                    for listener in l2_listeners:
+                        listener(evicted_line)
+                way = victim_way
+            else:
+                way = 0
+                while way in cache_set:
+                    way += 1
+            cache_set[way] = CacheLine(block, False, True, False)
+            policy._clock = clock = policy._clock + 1
+            last_use[way] = clock
+
+        # Per-chunk counter accumulators, flushed in the finally block (so a
+        # mid-chunk ValueError leaves exactly the already-processed records
+        # counted, as the per-record reference path would).
+        n_done = 0
+        dir_reads = dir_writes = dir_invals = dir_downgrades = 0
+        m_reads = m_writes = m_system = m_invalidations = 0
+        m_l1_read_cov = m_l1_write_cov = m_l2_read_cov = 0
+        m_l1_read_miss = m_l1_write_miss = m_false_sharing = 0
+        m_l2_demand_reads = m_l2_read_hits = 0
+        m_offchip_reads = m_offchip_writes = 0
+        m_pf_issued = m_pf_l1 = m_pf_l2 = 0
+
+        try:
+            for pc, address, code, cpu, icount in zip(
+                chunk.pc, chunk.address, chunk.code, chunk.cpu, chunk.instruction_count
+            ):
+                if cpu >= num_cpus:
+                    raise ValueError(f"record.cpu={cpu} out of range for {num_cpus} CPUs")
+                n_done += 1
+                if icount > inst_max[cpu]:
+                    inst_max[cpu] = icount
+                    if icount > total_inst:
+                        total_inst = icount
+
+                is_write = (code & 1) == 1
+                block = address & block_mask
+
+                # --- Directory transaction (before the local lookup). -------
+                invalidations_sent = 0
+                entry = entries.get(block)
+                if entry is None:
+                    entry = DirectoryEntry(block_addr=block)  # repro: ignore[HOT001] -- directory entries are the simulated state the reference path allocates too
+                    entries[block] = entry
+                if is_write:
+                    dir_writes += 1
+                    sharers = entry.sharers
+                    invalidations_sent = len(sharers)
+                    if cpu in sharers:
+                        invalidations_sent -= 1
+                    if invalidations_sent:
+                        others = [other for other in sharers if other != cpu]
+                        dir_invals += invalidations_sent
+                        sharers.clear()
+                        sharers.add(cpu)
+                        entry.owner = cpu
+                        entry.state = modified
+                        for other in others:
+                            evicted = l1_invalidate[other](block)
+                            if evicted is not None:
+                                if record_invalidation is not None:
+                                    record_invalidation(other, block, address)
+                            elif record_remote_write is not None:
+                                record_remote_write(other, block, address)
+                    else:
+                        if not sharers:
+                            sharers.add(cpu)
+                        entry.owner = cpu
+                        entry.state = modified
+                else:
+                    dir_reads += 1
+                    state = entry.state
+                    if state is modified and entry.owner != cpu:
+                        dir_downgrades += 1
+                        entry.state = shared
+                        entry.owner = None
+                    entry.sharers.add(cpu)
+                    if state is invalid:
+                        entry.state = shared
+
+                # --- L1 lookup (install-on-miss inlined). -------------------
+                set_index = (address >> l1_shift) & l1_set_mask
+                cache_set = l1_sets[cpu][set_index]
+                if is_write:
+                    c1_writes[cpu] += 1
+                else:
+                    c1_reads[cpu] += 1
+                l1_hit = l1_prefetch_hit = l2_hit = False
+                for way, line in cache_set.items():
+                    if line.block_addr == block:
+                        policy = l1_policies[cpu][set_index]
+                        policy._clock = clock = policy._clock + 1
+                        policy._last_use[way] = clock
+                        if line.prefetched and not line.used:
+                            l1_prefetch_hit = True
+                            c1_pf_hits[cpu] += 1
+                        c1_hits[cpu] += 1
+                        line.used = True
+                        if is_write:
+                            line.dirty = True
+                        l1_hit = True
+                        break
+                if not l1_hit:
+                    if is_write:
+                        c1_write_misses[cpu] += 1
+                    else:
+                        c1_read_misses[cpu] += 1
+                    # install_l1(...) inlined for the demand miss (the hottest
+                    # call site; ~every record on miss-heavy workloads), with
+                    # dirty=is_write, prefetched=False folded in.
+                    policy = l1_policies[cpu][set_index]
+                    last_use = policy._last_use
+                    if len(cache_set) >= l1_assoc:
+                        stats = l1_stats[cpu]
+                        if l1_two_way:
+                            w0, w1 = cache_set
+                            way = w0 if last_use[w0] < last_use[w1] else w1
+                        else:
+                            way = min(cache_set, key=last_use.__getitem__)
+                        victim = cache_set.pop(way)
+                        del last_use[way]
+                        stats.evictions += 1
+                        if victim.dirty:
+                            stats.dirty_evictions += 1
+                        if victim.prefetched and not victim.used:
+                            stats.prefetched_evicted_unused += 1
+                        vblock = victim.block_addr
+                        if inline_evictions:
+                            entry = entries.get(vblock)
+                            if entry is not None:
+                                sharers = entry.sharers
+                                sharers.discard(cpu)
+                                if entry.owner == cpu:
+                                    entry.owner = None
+                                if not sharers:
+                                    entry.state = invalid
+                                    entry.owner = None
+                                elif entry.state is modified and entry.owner is None:
+                                    entry.state = shared
+                            if vblock in tracked:
+                                resident = False
+                                for line in l2_sets[(vblock >> l2_shift) & l2_set_mask].values():
+                                    if line.block_addr == vblock:
+                                        resident = True
+                                        break
+                                if not resident:
+                                    vindex = (vblock >> l1_shift) & l1_set_mask
+                                    for sets in l1_sets:
+                                        for line in sets[vindex].values():
+                                            if line.block_addr == vblock:
+                                                resident = True
+                                                break
+                                        if resident:
+                                            break
+                                if not resident:
+                                    tracked.discard(vblock)
+                                    self._offchip_prefetched_wasted += 1
+                            handler = evict_hooks[cpu]
+                            if handler is not None:
+                                handler(vblock)
+                        else:
+                            evicted_line = EvictedLine(  # repro: ignore[HOT001] -- boxed only on the foreign-listener fallback, once per eviction as the listener API requires
+                                vblock, victim.dirty, victim.prefetched, victim.used, False
+                            )
+                            for listener in l1_listeners[cpu]:
+                                listener(evicted_line)
+                    else:
+                        way = 0
+                        while way in cache_set:
+                            way += 1
+                    cache_set[way] = CacheLine(block, is_write, False, True)  # repro: ignore[HOT001] -- cache lines are the simulated state the reference path allocates too
+                    policy._clock = clock = policy._clock + 1
+                    last_use[way] = clock
+
+                    # --- Miss classification, then shared L2. ---------------
+                    was_false_sharing = (
+                        classify_block_miss is not None and classify_block_miss(cpu, block)
+                    )
+
+                    l2_index = (address >> l2_shift) & l2_set_mask
+                    l2_set = l2_sets[l2_index]
+                    if is_write:
+                        c2_writes += 1
+                    else:
+                        c2_reads += 1
+                    for way, line in l2_set.items():
+                        if line.block_addr == block:
+                            policy = l2_policies[l2_index]
+                            policy._clock = clock = policy._clock + 1
+                            policy._last_use[way] = clock
+                            if line.prefetched and not line.used:
+                                c2_pf_hits += 1
+                            c2_hits += 1
+                            line.used = True
+                            if is_write:
+                                line.dirty = True
+                            l2_hit = True
+                            break
+                    if not l2_hit:
+                        if is_write:
+                            c2_write_misses += 1
+                        else:
+                            c2_read_misses += 1
+                        # install_l2(...) inlined for the demand miss.
+                        policy = l2_policies[l2_index]
+                        last_use = policy._last_use
+                        if len(l2_set) >= l2_assoc:
+                            way = min(l2_set, key=last_use.__getitem__)
+                            victim = l2_set.pop(way)
+                            del last_use[way]
+                            l2_stats.evictions += 1
+                            if victim.dirty:
+                                l2_stats.dirty_evictions += 1
+                            if victim.prefetched and not victim.used:
+                                l2_stats.prefetched_evicted_unused += 1
+                            vblock = victim.block_addr
+                            if inline_evictions:
+                                if vblock in tracked:
+                                    resident = False
+                                    vindex = (vblock >> l1_shift) & l1_set_mask
+                                    for sets in l1_sets:
+                                        for line in sets[vindex].values():
+                                            if line.block_addr == vblock:
+                                                resident = True
+                                                break
+                                        if resident:
+                                            break
+                                    if not resident:
+                                        tracked.discard(vblock)
+                                        self._offchip_prefetched_wasted += 1
+                            else:
+                                evicted_line = EvictedLine(  # repro: ignore[HOT001] -- boxed only on the foreign-listener fallback, once per eviction as the listener API requires
+                                    vblock, victim.dirty, victim.prefetched, victim.used, False
+                                )
+                                for listener in l2_listeners:
+                                    listener(evicted_line)
+                        else:
+                            way = 0
+                            while way in l2_set:
+                                way += 1
+                        l2_set[way] = CacheLine(block, is_write, False, True)  # repro: ignore[HOT001] -- cache lines are the simulated state the reference path allocates too
+                        policy._clock = clock = policy._clock + 1
+                        last_use[way] = clock
+
+                # --- Measurement counters (reference: _record_outcome). -----
+                if measuring:
+                    if is_write:
+                        m_writes += 1
+                    else:
+                        m_reads += 1
+                    if code & 2:
+                        m_system += 1
+                    m_invalidations += invalidations_sent
+                    if l1_prefetch_hit:
+                        if is_write:
+                            m_l1_write_cov += 1
+                        else:
+                            m_l1_read_cov += 1
+                    if tracked and block in tracked:
+                        tracked.discard(block)
+                        if not (l1_hit or l2_hit):
+                            self._offchip_prefetched_wasted += 1
+                        elif not is_write:
+                            m_l2_read_cov += 1
+                    if not l1_hit:
+                        if is_write:
+                            m_l1_write_miss += 1
+                        else:
+                            m_l1_read_miss += 1
+                        if was_false_sharing:
+                            m_false_sharing += 1
+                        if is_write:
+                            if not l2_hit:
+                                m_offchip_writes += 1
+                        else:
+                            m_l2_demand_reads += 1
+                            if l2_hit:
+                                m_l2_read_hits += 1
+                            else:
+                                m_offchip_reads += 1
+
+                # --- Prefetcher hook + stream fills (ref: _apply_prefetches).
+                hook = hooks[cpu]
+                if hook is not None:
+                    addresses = hook[0](pc, address)
+                    if addresses:
+                        target_l1 = hook[1]
+                        for paddr in addresses:
+                            pblock = paddr & block_mask
+                            dir_reads += 1
+                            entry = entries.get(pblock)
+                            if entry is None:
+                                entry = DirectoryEntry(block_addr=pblock)  # repro: ignore[HOT001] -- directory entries are the simulated state the reference path allocates too
+                                entries[pblock] = entry
+                            state = entry.state
+                            if state is modified and entry.owner != cpu:
+                                dir_downgrades += 1
+                                entry.state = shared
+                                entry.owner = None
+                            entry.sharers.add(cpu)
+                            if state is invalid:
+                                entry.state = shared
+                            # L2 fill; the residency scan doubles as the
+                            # reference path's was-off-chip probe (nothing
+                            # between them can change L2 residency).
+                            findex = (pblock >> l2_shift) & l2_set_mask
+                            fset = l2_sets[findex]
+                            resident = False
+                            for line in fset.values():
+                                if line.block_addr == pblock:
+                                    resident = True
+                                    break
+                            if not resident:
+                                c2_pf_fills += 1
+                                install_l2_fill(fset, l2_policies[findex], pblock)
+                            if target_l1:
+                                findex = (pblock >> l1_shift) & l1_set_mask
+                                fset = l1_sets[cpu][findex]
+                                for line in fset.values():
+                                    if line.block_addr == pblock:
+                                        break
+                                else:
+                                    c1_pf_fills[cpu] += 1
+                                    install_l1_fill(cpu, fset, l1_policies[cpu][findex], pblock)
+                            if not resident:
+                                # The prefetch brought the block on-chip;
+                                # its first demand use is a covered off-chip
+                                # miss.
+                                tracked.add(pblock)
+                            if measuring:
+                                m_pf_issued += 1
+                                if target_l1:
+                                    m_pf_l1 += 1
+                                m_pf_l2 += 1
+        finally:
+            memory.total_accesses += n_done
+            memory.total_instructions = total_inst
+            for cpu in range(num_cpus):
+                peak = inst_max[cpu]
+                if peak > latest.get(cpu, 0):
+                    latest[cpu] = peak
+            directory.read_requests += dir_reads
+            directory.write_requests += dir_writes
+            directory.invalidations_sent += dir_invals
+            directory.downgrades_sent += dir_downgrades
+            for cpu in range(num_cpus):
+                reads = c1_reads[cpu]
+                writes = c1_writes[cpu]
+                stats = l1_stats[cpu]
+                if c1_pf_fills[cpu]:
+                    stats.prefetch_fills += c1_pf_fills[cpu]
+                if not (reads or writes):
+                    continue
+                stats.accesses += reads + writes
+                stats.reads += reads
+                stats.writes += writes
+                stats.hits += c1_hits[cpu]
+                rm = c1_read_misses[cpu]
+                wm = c1_write_misses[cpu]
+                stats.misses += rm + wm
+                stats.read_misses += rm
+                stats.write_misses += wm
+                pf = c1_pf_hits[cpu]
+                if pf:
+                    stats.prefetch_hits += pf
+                    stats.prefetched_used += pf
+            if c2_pf_fills:
+                l2_stats.prefetch_fills += c2_pf_fills
+            if c2_reads or c2_writes:
+                l2_stats.accesses += c2_reads + c2_writes
+                l2_stats.reads += c2_reads
+                l2_stats.writes += c2_writes
+                l2_stats.hits += c2_hits
+                l2_stats.misses += c2_read_misses + c2_write_misses
+                l2_stats.read_misses += c2_read_misses
+                l2_stats.write_misses += c2_write_misses
+                if c2_pf_hits:
+                    l2_stats.prefetch_hits += c2_pf_hits
+                    l2_stats.prefetched_used += c2_pf_hits
+            if measuring:
+                result = self.result
+                result.accesses += n_done
+                result.reads += m_reads
+                result.writes += m_writes
+                result.system_accesses += m_system
+                result.invalidations += m_invalidations
+                result.l1_read_covered += m_l1_read_cov
+                result.l1_write_covered += m_l1_write_cov
+                result.l2_read_covered += m_l2_read_cov
+                result.l1_read_misses += m_l1_read_miss
+                result.l1_write_misses += m_l1_write_miss
+                result.false_sharing_misses += m_false_sharing
+                result.l2_demand_reads += m_l2_demand_reads
+                result.l2_read_hits += m_l2_read_hits
+                result.offchip_read_misses += m_offchip_reads
+                result.offchip_write_misses += m_offchip_writes
+                result.prefetches_issued += m_pf_issued
+                result.prefetch_fills_l1 += m_pf_l1
+                result.prefetch_fills_l2 += m_pf_l2
+                traffic = result.traffic
+                misses = m_l1_read_miss + m_l1_write_miss
+                if misses:
+                    traffic.record_block_transfer(TrafficClass.DEMAND_FETCH, misses)
+                    traffic.record_useful_bytes(self._block_size * misses)
+                if m_pf_issued:
+                    traffic.record_block_transfer(TrafficClass.PREFETCH, m_pf_issued)
 
     def _finalize_instructions(self) -> None:
         total = 0

@@ -44,11 +44,14 @@ from repro.trace.stream import (
     MaterializedTrace,
     TraceStream,
     iter_chunks,
+    lane_chunk_iterator,
     resolve_warmup_count,
     stream_length_hint,
 )
 from repro.trace.binary import (
     BinaryTraceStream,
+    LaneChunk,
+    decode_record_lanes,
     is_binary_trace,
     read_trace_binary,
     write_trace_binary,
@@ -66,10 +69,13 @@ __all__ = [
     "InterleavedTrace",
     "ChunkedTraceStream",
     "iter_chunks",
+    "lane_chunk_iterator",
     "resolve_warmup_count",
     "stream_length_hint",
     "FileTraceStream",
     "BinaryTraceStream",
+    "LaneChunk",
+    "decode_record_lanes",
     "is_binary_trace",
     "read_trace",
     "read_trace_binary",

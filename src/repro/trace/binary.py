@@ -42,6 +42,8 @@ text reader can only obtain with a full counting pass.
 from __future__ import annotations
 
 import gzip
+import sys
+from array import array
 from pathlib import Path
 from typing import IO, Iterable, Iterator, List, Optional, Union
 
@@ -75,6 +77,142 @@ _MAX_U16 = 2**16 - 1
 
 #: Records encoded or decoded per I/O batch (~220 kB of payload).
 _BATCH_RECORDS = 8192
+
+#: Byte offsets of the u64 fields within one packed record.
+_PC_OFFSET = 0
+_ADDRESS_OFFSET = 8
+_CODE_OFFSET = 16
+_CPU_OFFSET = 17
+_ICOUNT_OFFSET = 19
+
+#: The strided-slice gather writes raw little-endian bytes straight into
+#: ``array`` buffers, so it is only valid where the machine layout matches
+#: the file layout.  Everywhere else (big-endian, exotic ``array`` item
+#: sizes) the decoder falls back to ``iter_unpack``, which is portable.
+_LANES_NATIVE = (
+    sys.byteorder == "little"
+    and array("Q").itemsize == 8
+    and array("H").itemsize == 2
+)
+
+
+class LaneChunk:
+    """One decoded chunk as parallel SoA integer lanes.
+
+    Five flat ``array`` columns hold the same fields a list of
+    :class:`~repro.trace.record.MemoryAccess` tuples would, without boxing a
+    single record: ``pc``/``address``/``instruction_count`` are ``array('Q')``,
+    ``code`` is ``array('B')``, ``cpu`` is ``array('H')``.  The engine's lane
+    path walks these with a single ``zip``; boxed records exist only where a
+    slow path explicitly asks for them (:meth:`record` / :meth:`records`).
+    """
+
+    __slots__ = ("pc", "address", "code", "cpu", "instruction_count")
+
+    def __init__(self, pc, address, code, cpu, instruction_count) -> None:
+        self.pc = pc
+        self.address = address
+        self.code = code
+        self.cpu = cpu
+        self.instruction_count = instruction_count
+
+    def __len__(self) -> int:
+        return len(self.address)
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "LaneChunk":
+        """Lane-wise ``[start:stop]`` view copy (warmup/limit boundaries only)."""
+        return LaneChunk(
+            self.pc[start:stop],
+            self.address[start:stop],
+            self.code[start:stop],
+            self.cpu[start:stop],
+            self.instruction_count[start:stop],
+        )
+
+    def record(self, index: int) -> MemoryAccess:
+        """Box one record (slow paths: snapshots, diagnostics)."""
+        return tuple.__new__(
+            MemoryAccess,
+            (
+                self.pc[index],
+                self.address[index],
+                self.code[index],
+                self.cpu[index],
+                self.instruction_count[index],
+            ),
+        )
+
+    def records(self) -> List[MemoryAccess]:
+        """Box every record — the deliberate lane → namedtuple escape hatch."""
+        new = tuple.__new__
+        cls = MemoryAccess
+        return [
+            new(cls, fields)
+            for fields in zip(
+                self.pc, self.address, self.code, self.cpu, self.instruction_count
+            )
+        ]
+
+
+def _gather_u64(data: bytes, offset: int, count: int) -> array:
+    """Collect one u64 column from packed records via strided byte slices.
+
+    Eight C-speed slice assignments (one per byte position) transpose the
+    column into a contiguous little-endian buffer, which ``array('Q')``
+    adopts wholesale — no per-record Python bytecode at all.
+    """
+    buf = bytearray(8 * count)
+    for j in range(8):
+        buf[j::8] = data[offset + j :: RECORD_SIZE]
+    out = array("Q")
+    out.frombytes(bytes(buf))
+    return out
+
+
+def _gather_u16(data: bytes, offset: int, count: int) -> array:
+    buf = bytearray(2 * count)
+    buf[0::2] = data[offset::RECORD_SIZE]
+    buf[1::2] = data[offset + 1 :: RECORD_SIZE]
+    out = array("H")
+    out.frombytes(bytes(buf))
+    return out
+
+
+def _decode_lanes_portable(data: bytes) -> LaneChunk:
+    """Reference lane decoder over ``iter_unpack`` (any byte order)."""
+    if not data:
+        empty = array("Q")
+        return LaneChunk(empty, array("Q"), array("B"), array("H"), array("Q"))
+    pc, address, code, cpu, icount = zip(*RECORD.iter_unpack(data))
+    return LaneChunk(
+        array("Q", pc), array("Q", address), array("B", code),
+        array("H", cpu), array("Q", icount),
+    )
+
+
+def decode_record_lanes(data: bytes) -> LaneChunk:
+    """Decode a whole-record payload slice straight into SoA lanes.
+
+    ``data`` must be a multiple of :data:`RECORD_SIZE` bytes (the chunk
+    iterator guarantees this; anything else raises ``ValueError`` exactly as
+    a torn tail would).  Field-for-field identical to boxing via
+    ``RECORD.iter_unpack`` — pinned by a hypothesis property test.
+    """
+    count, remainder = divmod(len(data), RECORD_SIZE)
+    if remainder:
+        raise ValueError(
+            f"lane decode needs whole records "
+            f"({remainder} trailing bytes are not a whole record)"
+        )
+    if not _LANES_NATIVE:
+        return _decode_lanes_portable(data)
+    return LaneChunk(
+        _gather_u64(data, _PC_OFFSET, count),
+        _gather_u64(data, _ADDRESS_OFFSET, count),
+        array("B", data[_CODE_OFFSET::RECORD_SIZE]),
+        _gather_u16(data, _CPU_OFFSET, count),
+        _gather_u64(data, _ICOUNT_OFFSET, count),
+    )
 
 
 def is_binary_trace(path: Union[str, Path]) -> bool:
@@ -262,6 +400,56 @@ class BinaryTraceStream(TraceStream):
         if self._length is None:
             self._length = decoded
 
+    def iter_lane_chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[LaneChunk]:
+        """Decode the file as successive :class:`LaneChunk` SoA batches.
+
+        Identical framing to :meth:`iter_chunks` (same chunk boundaries, same
+        torn-tail and header-count validation, same errors) but each chunk is
+        five flat integer lanes instead of a list of boxed records — the
+        engine's lane path consumes these directly.
+        """
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        handle, raw, expected = self._open_payload()
+        read_bytes = chunk_size * RECORD_SIZE
+        decode = decode_record_lanes
+        decoded = 0
+        pending = b""
+        try:
+            while True:
+                data = handle.read(read_bytes)
+                if not data:
+                    break
+                if pending:
+                    data = pending + data
+                    pending = b""
+                remainder = len(data) % RECORD_SIZE
+                if remainder:
+                    pending = data[-remainder:]
+                    data = data[:-remainder]
+                if not data:
+                    continue
+                chunk = decode(data)
+                decoded += len(chunk)
+                yield chunk
+        finally:
+            handle.close()
+            raw.close()
+        if pending:
+            raise ValueError(
+                f"{self.path}: truncated binary trace "
+                f"({len(pending)} trailing bytes are not a whole record)"
+            )
+        if expected is not None and decoded != expected:
+            raise ValueError(
+                f"{self.path}: header promises {expected} records "
+                f"but the payload holds {decoded}"
+            )
+        if self._length is None:
+            self._length = decoded
+
     def __iter__(self) -> Iterator[MemoryAccess]:
         for chunk in self.iter_chunks():
             yield from chunk
@@ -297,9 +485,25 @@ def _binary_stem(path: Path) -> str:
 
 
 def read_trace_binary(path: Union[str, Path], name: str = "") -> MaterializedTrace:
-    """Eagerly read a binary trace into a :class:`MaterializedTrace`."""
+    """Eagerly read a binary trace into a :class:`MaterializedTrace`.
+
+    The result list is preallocated from the header's record count (when
+    recorded) and filled by boxing whole lane chunks at a time, then adopted
+    by the trace without the defensive copy ``MaterializedTrace(records)``
+    would make — one list, sized once, built once.
+    """
     stream = BinaryTraceStream(path, name=name)
-    records: List[MemoryAccess] = []
-    for chunk in stream.iter_chunks():
-        records.extend(chunk)
-    return MaterializedTrace(records, name=stream.name)
+    expected = stream.length_hint()
+    cursor = 0
+    if expected is None:
+        records: List[MemoryAccess] = []
+        for chunk in stream.iter_lane_chunks():
+            records.extend(chunk.records())
+            cursor += len(chunk)
+    else:
+        records = [None] * expected  # type: ignore[list-item]
+        for chunk in stream.iter_lane_chunks():
+            boxed = chunk.records()
+            records[cursor : cursor + len(boxed)] = boxed
+            cursor += len(boxed)
+    return MaterializedTrace.adopt(records, name=stream.name)

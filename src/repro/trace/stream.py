@@ -44,6 +44,22 @@ def iter_chunks(
         yield chunk
 
 
+def lane_chunk_iterator(stream, chunk_size: int = DEFAULT_CHUNK_SIZE):
+    """Return a SoA lane-chunk iterator for ``stream``, or ``None``.
+
+    Only streams that can decode straight into flat integer lanes expose
+    ``iter_lane_chunks`` — binary trace files and chunked views over them.
+    Text traces, generated workloads, and materialized record lists return
+    ``None`` here, which is the engine's signal to fall back to the boxed
+    reference path.  A wrapper whose source has no lane support may itself
+    return ``None`` from ``iter_lane_chunks``; that propagates.
+    """
+    method = getattr(stream, "iter_lane_chunks", None)
+    if method is None:
+        return None
+    return method(chunk_size)
+
+
 def stream_length_hint(stream) -> Optional[int]:
     """Best-effort record count of ``stream`` without iterating it.
 
@@ -153,6 +169,20 @@ class MaterializedTrace(TraceStream):
         super().__init__(name=name)
         self._records = list(records)
 
+    @classmethod
+    def adopt(cls, records: List[MemoryAccess], name: str = "trace") -> "MaterializedTrace":
+        """Wrap an existing record list without copying it.
+
+        The caller cedes ownership: mutating ``records`` afterwards mutates
+        the trace.  Used by bulk readers that already built the exact list
+        (``read_trace_binary`` preallocates from the header count) so the
+        constructor's defensive ``list(records)`` copy is not paid twice.
+        """
+        trace = cls.__new__(cls)
+        TraceStream.__init__(trace, name=name)
+        trace._records = records
+        return trace
+
     def __iter__(self) -> Iterator[MemoryAccess]:
         return iter(self._records)
 
@@ -246,6 +276,10 @@ class ChunkedTraceStream(TraceStream):
         self, chunk_size: Optional[int] = None
     ) -> Iterator[List[MemoryAccess]]:
         return iter_chunks(self._source, chunk_size or self.chunk_size)
+
+    def iter_lane_chunks(self, chunk_size: Optional[int] = None):
+        """Forward lane iteration to the source; ``None`` when unsupported."""
+        return lane_chunk_iterator(self._source, chunk_size or self.chunk_size)
 
     def length_hint(self) -> Optional[int]:
         return stream_length_hint(self._source)

@@ -323,9 +323,10 @@ class TestIMP001:
 
 
 # --------------------------------------------------------------------------- #
-# HOT — only in tagged hot modules
+# HOT — tagged hot modules, plus lane functions anywhere
 # --------------------------------------------------------------------------- #
 HOT_PATH = "pkg/simulation/engine.py"
+COLD_PATH = "pkg/analysis/charts.py"
 
 
 class TestHOT001:
@@ -419,6 +420,140 @@ class TestHOT003:
                     table.clear()
             """,
             path=HOT_PATH,
+        ) == []
+
+
+class TestHOTLaneScope:
+    """HOT001-003 follow lane functions out of the tagged hot modules."""
+
+    def test_lane_function_in_cold_module(self):
+        findings = rules_at(
+            """
+            class Record:
+                pass
+
+            def step_lanes(chunk):
+                out = []
+                for item in chunk:
+                    out.append(Record())
+                return out
+            """,
+            path=COLD_PATH,
+        )
+        assert findings == [("HOT001", 8)]
+
+    def test_closure_inside_lane_builder(self):
+        # The fused closures a lane_hook() builder returns carry short
+        # names; they inherit the lane scope from the enclosing function.
+        findings = rules_at(
+            """
+            def lane_hook(self):
+                def hook(chunk, obj):
+                    for item in chunk:
+                        obj.result.traffic.record(item)
+                return hook
+            """,
+            path=COLD_PATH,
+        )
+        assert findings == [("HOT002", 5)]
+
+    def test_non_lane_function_in_cold_module_stays_exempt(self):
+        assert rule_ids(
+            """
+            class Record:
+                pass
+
+            def decode(chunk):
+                out = []
+                for item in chunk:
+                    out.append(Record())
+                return out
+            """,
+            path=COLD_PATH,
+        ) == []
+
+    def test_lane_class_name_does_not_mark_methods(self):
+        # Only function names propagate the lane mark; LaneChunk.records
+        # is the sanctioned boxing API, not a lane function.
+        assert rule_ids(
+            """
+            class LaneChunk:
+                def totals(self, table):
+                    for item in self.pc:
+                        try:
+                            table[item] += 1
+                        except KeyError:
+                            table[item] = 1
+            """,
+            path=COLD_PATH,
+        ) == []
+
+
+class TestHOT004:
+    def test_records_escape_hatch_in_lane_function(self):
+        findings = rules_at(
+            """
+            def step_lanes(chunk, step):
+                for record in chunk.records():
+                    step(record)
+            """,
+            path=COLD_PATH,
+        )
+        assert ("HOT004", 3) in findings
+
+    def test_boxed_record_construction_in_lane_function(self):
+        findings = rules_at(
+            """
+            def on_access_lane(pc, address):
+                return MemoryAccess(pc, address)
+            """,
+            path=COLD_PATH,
+        )
+        assert findings == [("HOT004", 3)]
+
+    def test_tuple_new_in_lane_function(self):
+        findings = rules_at(
+            """
+            def decode_lanes(cls, fields):
+                return tuple.__new__(cls, fields)
+            """,
+            path=COLD_PATH,
+        )
+        assert findings == [("HOT004", 3)]
+
+    def test_applies_in_hot_modules_too(self):
+        findings = rules_at(
+            """
+            def iter_lane_chunks(stream):
+                for chunk in stream:
+                    yield chunk.records()
+            """,
+            path=HOT_PATH,
+        )
+        assert ("HOT004", 4) in findings
+
+    def test_boxing_outside_lane_functions_is_fine(self):
+        assert rule_ids(
+            """
+            def read_all(stream):
+                out = []
+                for chunk in stream:
+                    out.extend(chunk.records())
+                return out
+            """,
+            path=COLD_PATH,
+        ) == []
+
+    def test_lane_function_on_flat_lanes_is_clean(self):
+        assert rule_ids(
+            """
+            def step_lanes(chunk, step):
+                addresses = chunk.address
+                cpus = chunk.cpu
+                for i in range(len(chunk)):
+                    step(cpus[i], addresses[i])
+            """,
+            path=COLD_PATH,
         ) == []
 
 

@@ -1,0 +1,317 @@
+"""Lane fast-path tests: decode equivalence, golden parity, and fallbacks.
+
+The engine's lane path (``SimulationEngine.run(..., lanes=True)``, the
+default where applicable) must be *bit-identical* to the per-record
+reference path.  This module pins that from three directions:
+
+* a hypothesis property that the ``.strc`` lane decoder produces exactly
+  the fields ``RECORD.iter_unpack`` would, including torn-tail errors;
+* the golden-counter configurations re-run through a binary trace with
+  ``lanes=True`` against the same pinned numbers as the reference test;
+* fallback behaviour — stream types, prefetcher mixes, replacement
+  policies, and the environment switch must all land on the reference path
+  (and produce the same counters) rather than failing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prefetch import GHBConfig, GlobalHistoryBuffer, NullPrefetcher
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import LANES_ENV_VAR, SimulationEngine
+from repro.trace.binary import (
+    RECORD,
+    RECORD_SIZE,
+    BinaryTraceStream,
+    LaneChunk,
+    _decode_lanes_portable,
+    decode_record_lanes,
+    read_trace_binary,
+    write_trace_binary,
+)
+from repro.trace.record import AccessType, ExecutionMode, MemoryAccess
+from repro.workloads import make_workload
+
+from tests.test_engine_goldens import (
+    COUNTER_FIELDS,
+    GOLDENS,
+    PREFETCHER_FACTORIES,
+)
+
+# --------------------------------------------------------------------- #
+# Decode equivalence (property-based)
+# --------------------------------------------------------------------- #
+
+record_fields = st.tuples(
+    st.integers(min_value=0, max_value=2**64 - 1),  # pc
+    st.integers(min_value=0, max_value=2**64 - 1),  # address
+    st.integers(min_value=0, max_value=2**8 - 1),   # code
+    st.integers(min_value=0, max_value=2**16 - 1),  # cpu
+    st.integers(min_value=0, max_value=2**64 - 1),  # instruction_count
+)
+
+
+def _pack(records) -> bytes:
+    return b"".join(RECORD.pack(*fields) for fields in records)
+
+
+def _box(fields) -> MemoryAccess:
+    """Build a MemoryAccess from raw wire fields (pc, addr, code, cpu, icount).
+
+    The public constructor takes enums, not the packed ``code`` byte, so the
+    tests mirror what ``LaneChunk.records`` does internally.
+    """
+    return tuple.__new__(MemoryAccess, tuple(fields))
+
+
+class TestLaneDecodeProperty:
+    @given(st.lists(record_fields, max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_lane_decode_matches_iter_unpack(self, records):
+        data = _pack(records)
+        expected = list(RECORD.iter_unpack(data))
+        chunk = decode_record_lanes(data)
+        assert len(chunk) == len(records)
+        decoded = list(zip(chunk.pc, chunk.address, chunk.code, chunk.cpu,
+                           chunk.instruction_count))
+        assert decoded == expected
+        # The portable decoder must agree with whatever decode_record_lanes
+        # picked (the strided gather on little-endian builds, itself there).
+        portable = _decode_lanes_portable(data)
+        assert list(zip(portable.pc, portable.address, portable.code,
+                        portable.cpu, portable.instruction_count)) == expected
+        # Boxing the chunk reproduces the tuple records field-for-field.
+        assert [tuple(record) for record in chunk.records()] == expected
+
+    @given(
+        st.lists(record_fields, max_size=50),
+        st.integers(min_value=1, max_value=RECORD_SIZE - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_torn_tail_raises(self, records, torn_bytes):
+        data = _pack(records) + b"\x00" * torn_bytes
+        with pytest.raises(ValueError):
+            decode_record_lanes(data)
+
+    @given(records=st.lists(record_fields, min_size=1, max_size=120),
+           chunk_size=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=50, deadline=None)
+    def test_lane_chunk_framing_matches_boxed_chunks(self, records, chunk_size, tmp_path_factory):
+        path = tmp_path_factory.mktemp("lanes") / "trace.strc"
+        write_trace_binary(path, [_box(fields) for fields in records])
+        stream = BinaryTraceStream(path)
+        boxed = list(stream.iter_chunks(chunk_size))
+        laned = list(stream.iter_lane_chunks(chunk_size))
+        assert [len(chunk) for chunk in laned] == [len(chunk) for chunk in boxed]
+        assert [chunk.records() for chunk in laned] == boxed
+
+    def test_slice_is_lane_wise(self):
+        records = [(i, 10 * i, i % 256, i % 4, i) for i in range(10)]
+        chunk = decode_record_lanes(_pack(records))
+        head = chunk.slice(0, 4)
+        tail = chunk.slice(4, None)
+        assert head.records() + tail.records() == chunk.records()
+        assert isinstance(head, LaneChunk) and len(head) == 4 and len(tail) == 6
+
+
+# --------------------------------------------------------------------- #
+# Golden-counter parity through the lane path
+# --------------------------------------------------------------------- #
+
+
+def _golden_snapshot(result):
+    actual = {f: getattr(result, f) for f in COUNTER_FIELDS}
+    actual["traffic_total_bytes"] = result.traffic.total_bytes
+    actual["traffic_useful_bytes"] = result.traffic.useful_bytes
+    return actual
+
+
+def _write_golden_trace(workload_name, directory):
+    workload = make_workload(workload_name, num_cpus=2, accesses_per_cpu=3000, seed=11)
+    path = directory / f"{workload_name}.strc"
+    write_trace_binary(path, workload)
+    return path
+
+
+@pytest.mark.parametrize("key", sorted(GOLDENS))
+def test_golden_counters_with_lanes(key, tmp_path):
+    """All golden configurations, run lane-to-lane from a binary trace.
+
+    This is the bit-identity gate for the whole lane pipeline: the `.strc`
+    decoder, the fused engine loop, the inlined coherence/eviction work,
+    and the unboxed SMS train/predict path must reproduce the reference
+    counters exactly (GHB configs exercise the automatic fallback).
+    """
+    workload_name, prefetcher = key.split("/")
+    path = _write_golden_trace(workload_name, tmp_path)
+    engine = SimulationEngine(
+        SimulationConfig.small(num_cpus=2),
+        PREFETCHER_FACTORIES[prefetcher](),
+        name=f"{key}-lanes",
+    )
+    result = engine.run(BinaryTraceStream(path), lanes=True)
+    assert _golden_snapshot(result) == GOLDENS[key]
+
+
+# --------------------------------------------------------------------- #
+# Fallbacks and the lanes switch
+# --------------------------------------------------------------------- #
+
+
+def _run_pair(trace_factory, config=None, factory=None, **run_kwargs):
+    """Run the same trace through both paths; return (reference, lanes)."""
+    results = []
+    for lanes in (False, True):
+        engine = SimulationEngine(
+            config or SimulationConfig.small(num_cpus=2),
+            factory,
+            name=f"pair-lanes={lanes}",
+        )
+        results.append(engine.run(trace_factory(), lanes=lanes, **run_kwargs))
+    return results
+
+
+def _spy_on_lane_path(engine):
+    """Wrap the engine's lane stepper to record whether it ever ran."""
+    calls = []
+    original = engine._step_lanes
+
+    def spy(chunk, hooks):
+        calls.append(len(chunk))
+        return original(chunk, hooks)
+
+    engine._step_lanes = spy
+    return calls
+
+
+@pytest.fixture
+def small_trace(tmp_path):
+    workload = make_workload("oltp-db2", num_cpus=2, accesses_per_cpu=800, seed=3)
+    path = tmp_path / "small.strc"
+    write_trace_binary(path, workload)
+    return path
+
+
+class TestLaneFallbacks:
+    def test_binary_trace_defaults_to_lanes(self, small_trace, monkeypatch):
+        monkeypatch.delenv(LANES_ENV_VAR, raising=False)
+        engine = SimulationEngine(SimulationConfig.small(num_cpus=2))
+        calls = _spy_on_lane_path(engine)
+        engine.run(BinaryTraceStream(small_trace))
+        assert calls, "binary traces should take the lane path by default"
+
+    def test_env_var_disables_lanes(self, small_trace, monkeypatch):
+        monkeypatch.setenv(LANES_ENV_VAR, "0")
+        engine = SimulationEngine(SimulationConfig.small(num_cpus=2))
+        calls = _spy_on_lane_path(engine)
+        result = engine.run(BinaryTraceStream(small_trace))
+        assert not calls
+        monkeypatch.setenv(LANES_ENV_VAR, "1")
+        lanes_engine = SimulationEngine(SimulationConfig.small(num_cpus=2))
+        lanes_result = lanes_engine.run(BinaryTraceStream(small_trace))
+        assert _golden_snapshot(lanes_result) == _golden_snapshot(result)
+
+    def test_explicit_argument_beats_env(self, small_trace, monkeypatch):
+        monkeypatch.setenv(LANES_ENV_VAR, "0")
+        engine = SimulationEngine(SimulationConfig.small(num_cpus=2))
+        calls = _spy_on_lane_path(engine)
+        engine.run(BinaryTraceStream(small_trace), lanes=True)
+        assert calls
+
+    def test_generated_workload_falls_back(self):
+        workload = make_workload("oltp-db2", num_cpus=2, accesses_per_cpu=500, seed=5)
+        engine = SimulationEngine(SimulationConfig.small(num_cpus=2))
+        calls = _spy_on_lane_path(engine)
+        result = engine.run(workload, lanes=True)  # no iter_lane_chunks: fallback
+        assert not calls
+        reference = SimulationEngine(SimulationConfig.small(num_cpus=2)).run(
+            workload, lanes=False
+        )
+        assert _golden_snapshot(result) == _golden_snapshot(reference)
+
+    def test_mixed_prefetchers_fall_back_identically(self, small_trace):
+        def factory(cpu):
+            if cpu == 0:
+                return GlobalHistoryBuffer(GHBConfig(buffer_entries=64))
+            return NullPrefetcher()
+
+        reference, lanes = _run_pair(
+            lambda: BinaryTraceStream(small_trace), factory=factory
+        )
+        assert _golden_snapshot(lanes) == _golden_snapshot(reference)
+
+    def test_non_lru_replacement_falls_back(self, small_trace):
+        config = SimulationConfig(
+            num_cpus=2,
+            l1_capacity=16 * 1024,
+            l2_capacity=256 * 1024,
+            replacement="random",
+            seed=9,
+        )
+        engine = SimulationEngine(config)
+        calls = _spy_on_lane_path(engine)
+        result = engine.run(BinaryTraceStream(small_trace), lanes=True)
+        assert not calls
+        assert result.accesses > 0
+
+    def test_foreign_eviction_listener_keeps_parity(self, small_trace):
+        """Extra listeners force the generic dispatch, not wrong counters."""
+        seen = {False: [], True: []}
+        results = {}
+        for lanes in (False, True):
+            engine = SimulationEngine(SimulationConfig.small(num_cpus=2))
+            engine.memory.l1(0).add_eviction_listener(
+                lambda line, lanes=lanes: seen[lanes].append(line.block_addr)
+            )
+            results[lanes] = engine.run(BinaryTraceStream(small_trace), lanes=lanes)
+        assert seen[True] == seen[False] and seen[True]
+        assert _golden_snapshot(results[True]) == _golden_snapshot(results[False])
+
+
+class TestLimitWarmupParity:
+    @pytest.mark.parametrize("limit,warmup", [
+        (500, 0),       # no warmup
+        (1000, 250),    # warmup boundary inside the run
+        (1600, 1600),   # everything is warmup
+        (10**6, None),  # limit beyond EOF, default warmup fraction
+    ])
+    def test_limit_and_warmup_match_reference(self, small_trace, limit, warmup):
+        reference, lanes = _run_pair(
+            lambda: BinaryTraceStream(small_trace),
+            limit=limit,
+            warmup_accesses=warmup,
+        )
+        assert _golden_snapshot(lanes) == _golden_snapshot(reference)
+        assert lanes.accesses == reference.accesses
+
+
+# --------------------------------------------------------------------- #
+# read_trace_binary preallocation round-trip
+# --------------------------------------------------------------------- #
+
+
+class TestReadTraceBinary:
+    def test_round_trip(self, tmp_path):
+        records = [
+            MemoryAccess(
+                pc=0x400000 + 4 * i,
+                address=64 * i,
+                access_type=AccessType.WRITE if i % 3 == 0 else AccessType.READ,
+                cpu=i % 2,
+                mode=ExecutionMode.SYSTEM if i % 7 == 0 else ExecutionMode.USER,
+                instruction_count=i,
+            )
+            for i in range(1000)
+        ]
+        path = tmp_path / "round.strc"
+        assert write_trace_binary(path, records) == len(records)
+        trace = read_trace_binary(path)
+        assert list(trace) == records
+
+    def test_header_count_matches_payload(self, tmp_path):
+        path = tmp_path / "counted.strc"
+        write_trace_binary(path, [MemoryAccess(pc=1, address=2)] * 17)
+        stream = BinaryTraceStream(path)
+        assert stream.length_hint() == 17
+        assert len(read_trace_binary(path)) == 17
