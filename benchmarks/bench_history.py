@@ -9,10 +9,10 @@ tool keeps the trajectory.  Two subcommands::
 ``append`` extracts the headline throughput numbers from a report and
 appends one JSON line — keyed by git SHA and UTC timestamp — to
 ``benchmarks/BENCH_history.jsonl``.  ``check`` compares the newest entry's
-engine SMS throughput against the trailing median of the preceding entries
-(same ``quick`` flag only, so CI smoke numbers are never compared against
-full local runs) and warns when it dropped by more than the threshold
-(default 15%).
+engine SMS throughput *and* the lanes-vs-reference speedup against the
+trailing median of the preceding entries (same ``quick`` flag only, so CI
+smoke numbers are never compared against full local runs) and warns when
+either dropped by more than the threshold (default 15%).
 
 The check is **non-gating** by design: shared CI runners are noisy, so a
 single slow machine must not block a merge.  ``check`` always exits 0
@@ -38,6 +38,16 @@ DEFAULT_REPORT = REPO_ROOT / "BENCH_engine.json"
 CHECKED_METRIC = ("engine", "sms", "records_per_second")
 #: How many trailing entries feed the median.
 TRAILING_WINDOW = 10
+
+#: Metrics ``check`` compares against their trailing medians: a drop in
+#: ``engine_sms_rps`` means the engine got slower outright, a drop in
+#: ``lane_speedup`` means the lane fast path stopped paying for itself
+#: relative to the reference path (both are CPU-time based, so a loaded
+#: runner distorts neither).
+CHECKED_METRICS = (
+    ("engine_sms_rps", "engine sms.records_per_second"),
+    ("lane_speedup", "lanes_vs_reference.lane_speedup"),
+)
 
 
 def _git_sha() -> str:
@@ -74,6 +84,7 @@ def _extract_metrics(report: dict) -> dict:
         "lanes_rps": _dig(report, ("lanes_vs_reference", "lanes", "records_per_second")),
         "reference_rps": _dig(report, ("lanes_vs_reference", "reference", "records_per_second")),
         "decode_binary_rps": _dig(report, ("decode", "binary", "records_per_second")),
+        "obs_overhead_pct": _dig(report, ("obs_overhead", "overhead_pct")),
     }
     return {key: value for key, value in metrics.items() if value is not None}
 
@@ -125,28 +136,32 @@ def command_check(args: argparse.Namespace) -> int:
         print("bench-history: no history yet; nothing to check")
         return 0
     latest = entries[-1]
-    metric_name = "engine_sms_rps"
-    latest_value = latest.get("metrics", {}).get(metric_name)
-    if latest_value is None:
-        print(f"bench-history: latest entry has no {metric_name}; nothing to check")
-        return 0
-    prior = [
-        entry["metrics"][metric_name]
-        for entry in entries[:-1]
-        if entry.get("quick") == latest.get("quick")
-        and entry.get("metrics", {}).get(metric_name) is not None
-    ][-TRAILING_WINDOW:]
-    if not prior:
-        print("bench-history: no comparable prior entries; nothing to check")
-        return 0
-    median = _median(prior)
-    drop = (median - latest_value) / median if median else 0.0
-    print(f"bench-history: {metric_name} latest={latest_value:,} "
-          f"trailing-median={median:,.0f} (n={len(prior)}) drop={drop:+.1%}")
-    if drop > args.threshold:
-        print(f"::warning::engine sms.records_per_second dropped {drop:.1%} "
-              f"below the trailing median ({latest_value:,} vs {median:,.0f}); "
-              f"threshold {args.threshold:.0%}")
+    regressed = []
+    for metric_name, display in CHECKED_METRICS:
+        latest_value = latest.get("metrics", {}).get(metric_name)
+        if latest_value is None:
+            print(f"bench-history: latest entry has no {metric_name}; skipping")
+            continue
+        prior = [
+            entry["metrics"][metric_name]
+            for entry in entries[:-1]
+            if entry.get("quick") == latest.get("quick")
+            and entry.get("metrics", {}).get(metric_name) is not None
+        ][-TRAILING_WINDOW:]
+        if not prior:
+            print(f"bench-history: no comparable prior entries for "
+                  f"{metric_name}; skipping")
+            continue
+        median = _median(prior)
+        drop = (median - latest_value) / median if median else 0.0
+        print(f"bench-history: {metric_name} latest={latest_value:,} "
+              f"trailing-median={median:,.2f} (n={len(prior)}) drop={drop:+.1%}")
+        if drop > args.threshold:
+            print(f"::warning::{display} dropped {drop:.1%} below the "
+                  f"trailing median ({latest_value:,} vs {median:,.2f}); "
+                  f"threshold {args.threshold:.0%}")
+            regressed.append(metric_name)
+    if regressed:
         return 1 if args.strict else 0
     return 0
 

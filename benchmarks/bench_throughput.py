@@ -11,6 +11,9 @@ is tracked from PR to PR.  Four sections:
 * **lanes_vs_reference** — SMS records/second through the per-record
   reference path and the lane fast path on the same binary trace, plus the
   lane speedup (CPU-time based, so shared-runner load does not distort it);
+* **obs_overhead** — CPU-time cost of the ``repro.obs`` instrumentation on
+  the lane-path engine, instrumented vs the ``REPRO_OBS=0`` null registry
+  (budget: 2%);
 * **sweep_cache** — wall-clock for the same figure sweep with a cold and a
   warm result cache, plus the warm/cold speedup; and
 * **pht_backends** — store/lookup throughput and resident-set growth for
@@ -167,6 +170,58 @@ def bench_lanes_vs_reference(trace: dict, sim_records: int, repetitions: int = 2
         result["reference"]["cpu_seconds"] / result["lanes"]["cpu_seconds"], 2
     )
     return result
+
+
+def bench_obs_overhead(trace: dict, sim_records: int, repetitions: int = 3) -> dict:
+    """Instrumented-vs-uninstrumented engine overhead of the metrics layer.
+
+    The lane-path SMS engine is run with a live ``repro.obs`` registry and
+    with the ``NullRegistry`` that ``REPRO_OBS=0`` installs — the exact
+    same code shape, every observation a no-op.  One untimed warmup run
+    heats the trace/page caches, then the two sides alternate (interleaved
+    rather than back-to-back, so drift does not bias one side) and each
+    takes its best CPU time of N.  The budget is 2%: the engine only
+    tallies per chunk and flushes once per run, so real overhead is
+    expected to be indistinguishable from noise.
+    """
+    from repro import obs
+    from repro.obs.registry import NullRegistry, Registry
+
+    limit = min(sim_records, trace["records"])
+
+    def one_run(registry) -> float:
+        previous = obs.install_registry(registry)
+        try:
+            engine = SimulationEngine(
+                SimulationConfig.small(num_cpus=NUM_CPUS),
+                lambda cpu: SpatialMemoryStreaming(SMSConfig.paper_practical()),
+                name="obs-overhead",
+            )
+            stream = stream_trace(trace["paths"]["binary"])
+            cpu_start = time.process_time()
+            engine.run(stream, limit=limit, warmup_accesses=0, lanes=True)
+            return time.process_time() - cpu_start
+        finally:
+            obs.install_registry(previous)
+
+    one_run(NullRegistry())  # untimed warmup
+    uninstrumented = instrumented = None
+    for _ in range(repetitions):
+        null_cpu = one_run(NullRegistry())
+        live_cpu = one_run(Registry())
+        if uninstrumented is None or null_cpu < uninstrumented:
+            uninstrumented = null_cpu
+        if instrumented is None or live_cpu < instrumented:
+            instrumented = live_cpu
+    overhead = (instrumented - uninstrumented) / uninstrumented if uninstrumented else 0.0
+    return {
+        "records": limit,
+        "repetitions": repetitions,
+        "instrumented_cpu_seconds": round(instrumented, 4),
+        "uninstrumented_cpu_seconds": round(uninstrumented, 4),
+        "overhead_pct": round(overhead * 100, 2),
+        "budget_pct": 2.0,
+    }
 
 
 def bench_sweep_cache(scale: float, directory: Path) -> dict:
@@ -349,6 +404,10 @@ def main(argv=None) -> int:
         engine = bench_engine(trace, args.sim_records)
         print("benchmarking lanes vs reference ...", flush=True)
         lanes_vs_reference = bench_lanes_vs_reference(trace, args.sim_records)
+        print("benchmarking observability overhead ...", flush=True)
+        obs_overhead = bench_obs_overhead(trace, args.sim_records)
+        print(f"  obs overhead: {obs_overhead['overhead_pct']:+.2f}% "
+              f"(budget {obs_overhead['budget_pct']:.0f}%)", flush=True)
         print("benchmarking sweep cache ...", flush=True)
         sweep_cache = bench_sweep_cache(args.sweep_scale, directory)
         print("benchmarking PHT backends ...", flush=True)
@@ -365,6 +424,7 @@ def main(argv=None) -> int:
             "decode": decode,
             "engine": engine,
             "lanes_vs_reference": lanes_vs_reference,
+            "obs_overhead": obs_overhead,
             "sweep_cache": sweep_cache,
             "pht_backends": pht_backends,
         }

@@ -1,0 +1,271 @@
+"""Perf observatory: benchmark-history trends plus a live metrics snapshot.
+
+``repro.cli perf-report`` closes the observability loop: the benchmark
+harness appends one JSON line per run to ``benchmarks/BENCH_history.jsonl``
+(see ``benchmarks/bench_history.py``), the serve daemon exposes its
+counters at ``GET /metrics`` (see :mod:`repro.obs.gateway`), and this
+module folds both into one artifact a human can read in ten seconds:
+
+* ``perf_report.md`` — latest value, trailing median, and delta for every
+  tracked throughput metric, plus a digest of the scraped metrics
+  snapshot (request counts per verb, cache hit ratios, pool health).
+* ``<metric>.svg`` — one minimal polyline chart per metric, newest entry
+  rightmost, rendered with no dependencies beyond string formatting.
+
+The report is deterministic given its inputs: it never reads the wall
+clock (the "as of" line is the newest history entry's own timestamp) and
+never touches entropy, so re-rendering the same history is byte-stable.
+
+The metrics snapshot is optional and best-effort — a path to a JSON file
+saved from ``/metrics?format=json``, or an ``http://`` URL scraped
+directly (loopback gateway; stdlib ``urllib`` only).  A missing or
+unreachable snapshot degrades to a history-only report rather than
+failing the nightly job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DEFAULT_HISTORY",
+    "DEFAULT_OUT_DIR",
+    "TRAILING_WINDOW",
+    "load_history",
+    "load_metrics_snapshot",
+    "metric_series",
+    "render_markdown",
+    "render_svg",
+    "write_report",
+]
+
+#: Default inputs/outputs, relative to the repository root.
+DEFAULT_HISTORY = Path("benchmarks") / "BENCH_history.jsonl"
+DEFAULT_OUT_DIR = Path("benchmarks") / "perf_report"
+
+#: How many trailing entries feed the median (matches bench_history.py).
+TRAILING_WINDOW = 10
+
+#: Metrics pulled out of history entries, with display labels.
+TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("engine_baseline_rps", "engine baseline (records/s)"),
+    ("engine_sms_rps", "engine + SMS (records/s)"),
+    ("lanes_rps", "batch lanes (records/s)"),
+    ("reference_rps", "reference path (records/s)"),
+    ("lane_speedup", "lane speedup (x)"),
+    ("decode_binary_rps", "binary decode (records/s)"),
+)
+
+SVG_WIDTH = 480
+SVG_HEIGHT = 140
+SVG_PAD = 12
+
+
+def load_history(path: Union[str, Path]) -> List[dict]:
+    """History entries in file order; unparseable lines are skipped."""
+    entries: List[dict] = []
+    history = Path(path)
+    if not history.exists():
+        return entries
+    for line in history.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a torn append costs one data point, not the report
+        if isinstance(record, dict):
+            entries.append(record)
+    return entries
+
+
+def load_metrics_snapshot(source: str) -> Optional[Dict[str, Any]]:
+    """A ``/metrics?format=json`` payload from a file path or http URL.
+
+    Returns ``None`` when the source cannot be read or parsed — the
+    report degrades to history-only rather than failing the nightly run.
+    """
+    try:
+        if source.startswith("http://") or source.startswith("https://"):
+            with urllib.request.urlopen(source, timeout=10) as response:
+                raw = response.read().decode("utf-8")
+        else:
+            raw = Path(source).read_text()
+        payload = json.loads(raw)
+    except (OSError, ValueError, urllib.error.URLError) as exc:
+        print(f"perf-report: metrics snapshot unavailable ({exc})", file=sys.stderr)
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def metric_series(entries: Sequence[dict], name: str) -> List[Tuple[str, float]]:
+    """``(git_sha, value)`` pairs for one metric, oldest first."""
+    series = []
+    for entry in entries:
+        value = entry.get("metrics", {}).get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            series.append((str(entry.get("git_sha", "unknown"))[:12], float(value)))
+    return series
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) >= 1000:
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def render_svg(title: str, series: Sequence[Tuple[str, float]]) -> str:
+    """A minimal polyline trend chart (no dependencies, byte-stable)."""
+    values = [value for _, value in series]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    inner_w = SVG_WIDTH - 2 * SVG_PAD
+    inner_h = SVG_HEIGHT - 2 * SVG_PAD
+    points = []
+    for index, value in enumerate(values):
+        x = SVG_PAD + (inner_w * index / max(len(values) - 1, 1))
+        y = SVG_PAD + inner_h * (1.0 - (value - lo) / span)
+        points.append(f"{x:.1f},{y:.1f}")
+    last_x, last_y = points[-1].split(",")
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{SVG_WIDTH}" '
+        f'height="{SVG_HEIGHT}" viewBox="0 0 {SVG_WIDTH} {SVG_HEIGHT}">\n'
+        f'  <rect width="{SVG_WIDTH}" height="{SVG_HEIGHT}" fill="#ffffff"/>\n'
+        f'  <text x="{SVG_PAD}" y="{SVG_PAD - 2}" font-size="10" '
+        f'font-family="monospace" fill="#333333">{title}: '
+        f"{_format_number(lo)} .. {_format_number(hi)} "
+        f"(n={len(values)})</text>\n"
+        f'  <polyline fill="none" stroke="#2a6fbb" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/>\n'
+        f'  <circle cx="{last_x}" cy="{last_y}" r="3" fill="#2a6fbb"/>\n'
+        "</svg>\n"
+    )
+
+
+def _snapshot_lines(snapshot: Dict[str, Any]) -> List[str]:
+    """A readable digest of the key serve/cache/engine families."""
+    metrics = snapshot.get("metrics", {})
+    if not isinstance(metrics, dict) or not metrics:
+        note = "disabled" if snapshot.get("disabled") else "empty"
+        return [f"_Metrics snapshot was {note}._", ""]
+    lines = ["| metric | labels | value |", "| --- | --- | --- |"]
+    shown = 0
+    for name in sorted(metrics):
+        family = metrics[name]
+        if not isinstance(family, dict):
+            continue
+        for sample in family.get("samples", ()):
+            labels = sample.get("labels", {})
+            label_text = (
+                ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+            )
+            if family.get("kind") == "histogram":
+                count = sample.get("count", 0)
+                total = sample.get("sum", 0.0)
+                mean = (total / count) if count else 0.0
+                value_text = f"n={count}, mean={mean * 1000.0:.2f} ms"
+            else:
+                value_text = _format_number(float(sample.get("value", 0)))
+            lines.append(f"| `{name}` | {label_text} | {value_text} |")
+            shown += 1
+    lines.append("")
+    lines.append(f"_{shown} sample(s) across {len(metrics)} metric families._")
+    lines.append("")
+    return lines
+
+
+def render_markdown(
+    entries: Sequence[dict],
+    snapshot: Optional[Dict[str, Any]] = None,
+    svg_names: Optional[Dict[str, str]] = None,
+) -> str:
+    lines = ["# Performance report", ""]
+    if not entries:
+        lines += ["No benchmark history yet — run `benchmarks/bench_throughput.py`",
+                  "then `benchmarks/bench_history.py append`.", ""]
+        return "\n".join(lines)
+    latest = entries[-1]
+    lines += [
+        f"As of `{latest.get('git_sha', 'unknown')[:12]}` "
+        f"({latest.get('timestamp', 'no timestamp')}, "
+        f"{len(entries)} history entr{'y' if len(entries) == 1 else 'ies'}).",
+        "",
+        "## Throughput trends",
+        "",
+        "| metric | latest | trailing median | delta |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name, label in TRACKED_METRICS:
+        series = metric_series(entries, name)
+        if not series:
+            continue
+        latest_value = series[-1][1]
+        prior = [value for _, value in series[:-1]][-TRAILING_WINDOW:]
+        if prior:
+            median = _median(prior)
+            delta = (latest_value - median) / median if median else 0.0
+            median_text = _format_number(median)
+            delta_text = f"{delta:+.1%}"
+        else:
+            median_text = delta_text = "-"
+        lines.append(
+            f"| {label} | {_format_number(latest_value)} "
+            f"| {median_text} | {delta_text} |"
+        )
+    lines.append("")
+    if svg_names:
+        lines.append("## Charts")
+        lines.append("")
+        for name, label in TRACKED_METRICS:
+            file_name = svg_names.get(name)
+            if file_name:
+                lines.append(f"![{label}]({file_name})")
+        lines.append("")
+    lines.append("## Live metrics snapshot")
+    lines.append("")
+    if snapshot is None:
+        lines += ["_No metrics snapshot supplied (pass `--metrics` with a "
+                  "saved `/metrics?format=json` payload or a gateway URL)._", ""]
+    else:
+        lines += _snapshot_lines(snapshot)
+    return "\n".join(lines)
+
+
+def write_report(
+    history_path: Optional[Union[str, Path]] = None,
+    metrics_source: Optional[str] = None,
+    out_dir: Optional[Union[str, Path]] = None,
+) -> List[Path]:
+    """Render the report; returns the paths written (markdown first)."""
+    entries = load_history(history_path if history_path is not None else DEFAULT_HISTORY)
+    snapshot = load_metrics_snapshot(metrics_source) if metrics_source else None
+    target = Path(out_dir) if out_dir is not None else DEFAULT_OUT_DIR
+    target.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    svg_names: Dict[str, str] = {}
+    for name, label in TRACKED_METRICS:
+        series = metric_series(entries, name)
+        if len(series) < 2:
+            continue  # a one-point polyline is noise, not a trend
+        svg_path = target / f"{name}.svg"
+        svg_path.write_text(render_svg(label, series))
+        svg_names[name] = svg_path.name
+        written.append(svg_path)
+    report_path = target / "perf_report.md"
+    report_path.write_text(render_markdown(entries, snapshot, svg_names))
+    written.insert(0, report_path)
+    return written

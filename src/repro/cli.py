@@ -30,9 +30,11 @@ Three subcommands cover the common workflows without writing any Python:
 
 ``serve`` / ``submit``
     Run the persistent simulation service (warm worker pool, request
-    coalescing — see :mod:`repro.serve`) and talk to it::
+    coalescing — see :mod:`repro.serve`) and talk to it; ``--http PORT``
+    attaches the observability gateway (``GET /metrics``, ``/healthz``,
+    ``/status`` — see :mod:`repro.obs.gateway`)::
 
-        python -m repro.cli serve --socket /tmp/repro.sock --workers 4
+        python -m repro.cli serve --socket /tmp/repro.sock --workers 4 --http 9100
         python -m repro.cli submit --socket /tmp/repro.sock \
             --verb simulate --arg workload=oltp-db2 --arg cpus=2
 
@@ -48,6 +50,14 @@ Three subcommands cover the common workflows without writing any Python:
 
         python -m repro.cli lint
         python -m repro.cli lint src/repro --format json
+
+``perf-report``
+    Render the perf observatory: benchmark-history trend tables and SVG
+    charts, optionally folding in a live ``/metrics`` snapshot
+    (:mod:`repro.analysis.perf_report`)::
+
+        python -m repro.cli perf-report \
+            --metrics http://localhost:9100/metrics?format=json
 """
 
 from __future__ import annotations
@@ -262,6 +272,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine a job as a poison task (422, no more retries) after "
         "it kills or wedges workers this many times",
     )
+    serve.add_argument(
+        "--http",
+        type=_nonnegative_int,
+        default=None,
+        metavar="PORT",
+        help="also serve the HTTP observability gateway on this port "
+        "(GET /metrics, /healthz, /status; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        help="bind address for the HTTP gateway (default: loopback only)",
+    )
 
     submit = subparsers.add_parser(
         "submit", help="send one request to a running service and print the reply"
@@ -301,6 +324,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-sms)",
+    )
+
+    perf_report = subparsers.add_parser(
+        "perf-report",
+        help="render the benchmark-history trend report "
+        "(see repro.analysis.perf_report)",
+    )
+    perf_report.add_argument(
+        "--history",
+        default=None,
+        help="benchmark history JSONL (default: benchmarks/BENCH_history.jsonl)",
+    )
+    perf_report.add_argument(
+        "--metrics",
+        default=None,
+        help="live metrics snapshot to fold in: a JSON file saved from "
+        "/metrics?format=json, or an http:// URL scraped directly",
+    )
+    perf_report.add_argument(
+        "--out",
+        default=None,
+        help="output directory for perf_report.md and the SVG charts "
+        "(default: benchmarks/perf_report)",
     )
 
     lint = subparsers.add_parser(
@@ -576,11 +622,16 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         task_timeout=args.task_timeout,
         quarantine_after=args.quarantine_after,
+        http_host=args.http_host,
+        http_port=args.http,
+    )
+    http_note = (
+        f", http gateway on {args.http_host}:{args.http}" if args.http is not None else ""
     )
     print(
         f"repro serve: listening on {server.address} "
         f"({args.workers} worker(s), max_queue={args.max_queue}, "
-        f"cache {server.cache.directory})",
+        f"cache {server.cache.directory}{http_note})",
         flush=True,
     )
     server.run()
@@ -708,6 +759,21 @@ def _command_lint(args: argparse.Namespace) -> int:
     return lint_module.main(forwarded)
 
 
+def _command_perf_report(args: argparse.Namespace) -> int:
+    from repro.analysis import perf_report
+
+    try:
+        paths = perf_report.write_report(
+            history_path=args.history, metrics_source=args.metrics, out_dir=args.out
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "trace": _command_trace,
@@ -717,6 +783,7 @@ _COMMANDS = {
     "submit": _command_submit,
     "cache": _command_cache,
     "lint": _command_lint,
+    "perf-report": _command_perf_report,
 }
 
 

@@ -85,6 +85,13 @@ the lane fast path spills into ``core/sms.py`` and ``trace/stream.py``)
   Pass a timeout, guard with a timed ``poll``, or justify in place
   (an idle worker parked on its supervised pipe is the sanctioned case).
 
+**OBS — observability** (everywhere, ``devtools/`` included)
+
+``OBS001`` *duration measured with the wall clock.*  ``time.time()`` deltas
+  are not durations — NTP slews and clock steps make them negative or
+  hours long.  Metrics and timing spans use ``time.perf_counter`` (see the
+  :mod:`repro.obs` naming convention).
+
 **SUP / SYN — meta**
 
 ``SUP001`` malformed suppression (missing justification or unknown rule)

@@ -586,6 +586,66 @@ class BlockingReceiveWithoutTimeout(Rule):
 
 
 # --------------------------------------------------------------------------- #
+# OBS — observability discipline
+# --------------------------------------------------------------------------- #
+
+#: Wall-clock sources whose differences masquerade as durations.
+WALL_CLOCK_DURATION_SOURCES = frozenset({"time.time", "time.time_ns"})
+
+
+@register
+class WallClockDuration(Rule):
+    id = "OBS001"
+    family = "OBS"
+    title = "duration measured with the wall clock"
+    rationale = (
+        "time.time() is subject to NTP slews and DST/admin step changes, so "
+        "a time.time() delta is not a duration — metrics built on it go "
+        "negative or jump by hours.  Durations come from time.perf_counter "
+        "(or time.monotonic); see the repro.obs naming convention.  Applies "
+        "everywhere, devtools included — DET002 already bans wall-clock in "
+        "result-producing modules, this rule catches the measurement misuse "
+        "in the rest."
+    )
+    example_bad = "start = time.time(); ...; elapsed = time.time() - start"
+    example_fix = "start = time.perf_counter(); elapsed = time.perf_counter() - start"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = dataflow.ImportMap(ctx.tree)
+        wall_named: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            if targets and self._is_wall_read(node.value, imports):
+                wall_named.update(
+                    t.id for t in targets if isinstance(t, ast.Name)
+                )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp) or not isinstance(node.op, ast.Sub):
+                continue
+            for side in (node.left, node.right):
+                if self._is_wall_read(side, imports) or (
+                    isinstance(side, ast.Name) and side.id in wall_named
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        "duration computed from time.time(); wall-clock deltas "
+                        "jump with NTP/DST — use time.perf_counter()",
+                    )
+                    break
+
+    @staticmethod
+    def _is_wall_read(node, imports: dataflow.ImportMap) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        dotted = imports.resolve(dataflow.dotted_name(node.func))
+        return dotted in WALL_CLOCK_DURATION_SOURCES
+
+
+# --------------------------------------------------------------------------- #
 # SUP / SYN — emitted by the walker, registered for the catalog
 # --------------------------------------------------------------------------- #
 class _WalkerEmitted(Rule):

@@ -27,7 +27,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro import _env
+from repro import _env, obs
 from repro.core import SMSConfig, SpatialMemoryStreaming
 from repro.prefetch import GHBConfig, GlobalHistoryBuffer, NullPrefetcher, StridePrefetcher
 from repro.prefetch.base import Prefetcher
@@ -134,6 +134,7 @@ def _load_or_generate(workload, name: str, num_cpus: int, accesses_per_cpu: int,
             records: List[MemoryAccess] = []
             for chunk in BinaryTraceStream(path).iter_chunks():
                 records.extend(chunk)
+            obs.note_cache_op("trace", "hit")
             return tuple(records)
     except (OSError, ValueError) as exc:  # corrupt/truncated entry: regenerate
         from repro.simulation.result_cache import quarantine_file
@@ -141,12 +142,14 @@ def _load_or_generate(workload, name: str, num_cpus: int, accesses_per_cpu: int,
         # Quarantined next to the sweep cache's corrupt entries (same
         # side directory, same post-mortem workflow) rather than deleted.
         quarantine_file(path, trace_cache_dir().parent)
+        obs.note_cache_op("trace", "error", "quarantine")
         warnings.warn(
             f"quarantining unreadable trace cache entry {path.name}: {exc}",
             RuntimeWarning,
             stacklevel=2,
         )
     generated = tuple(workload)
+    obs.note_cache_op("trace", "miss")
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         # A code change re-fingerprints every entry, so siblings for the same
@@ -165,7 +168,10 @@ def _load_or_generate(workload, name: str, num_cpus: int, accesses_per_cpu: int,
         write_trace_binary(tmp_path, generated, compress=False)
         os.replace(tmp_path, path)
     except OSError as exc:
+        obs.note_cache_op("trace", "error")
         warnings.warn(f"could not store trace cache entry: {exc}", RuntimeWarning, stacklevel=2)
+        return generated
+    obs.note_cache_op("trace", "store")
     return generated
 
 

@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
-from repro import faults
+from repro import faults, obs
 from repro.serve.protocol import JOB_FAILED, TASK_TIMEOUT, WORKER_LOST, ProtocolError
 
 
@@ -291,6 +291,10 @@ class WorkerPool:
             handle.process.join(timeout=1.0)
         if not self._closed:
             self._spawn(handle.index)
+            obs.counter(
+                "repro_serve_pool_respawns_total",
+                "Workers respawned after a crash, kill, or idle death.",
+            ).inc()
 
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:

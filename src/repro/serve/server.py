@@ -46,6 +46,8 @@ import os
 import time
 from typing import Any, Dict, Mapping, Optional
 
+from repro import obs
+from repro.obs.gateway import MetricsGateway
 from repro.serve import jobs
 from repro.serve.protocol import (
     BUSY,
@@ -78,6 +80,8 @@ class SimulationServer:
         task_timeout: Optional[float] = None,
         retry_backoff: float = 0.1,
         quarantine_after: int = 3,
+        http_host: str = "127.0.0.1",
+        http_port: Optional[int] = None,
     ) -> None:
         if max_queue <= 0:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
@@ -117,6 +121,31 @@ class SimulationServer:
         self._inflight: Dict[str, "asyncio.Task[Any]"] = {}
         self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._started_at = 0.0
+        # Observability: the per-verb families are bound now (against the
+        # registry active at construction) so every request costs two O(1)
+        # child lookups; level gauges are refreshed by a scrape-time
+        # collector instead of on every request.
+        self.gateway: Optional[MetricsGateway] = (
+            MetricsGateway(host=http_host, port=http_port, status_provider=self.status)
+            if http_port is not None
+            else None
+        )
+        self._m_requests = obs.counter(
+            "repro_serve_requests_total",
+            "ndjson requests received, by verb (invalid = unparseable).",
+            labels=("verb",),
+        )
+        self._m_latency = obs.histogram(
+            "repro_serve_request_seconds",
+            "Request service latency from receipt to reply-ready, by verb.",
+            labels=("verb",),
+        )
+        self._m_outcomes = obs.counter(
+            "repro_serve_outcomes_total",
+            "Request outcomes, mirroring the status-verb counters.",
+            labels=("outcome",),
+        )
+        self._collector_registered = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -148,6 +177,11 @@ class SimulationServer:
             sockets = self._server.sockets or []
             if sockets:
                 self.port = sockets[0].getsockname()[1]
+        if self.gateway is not None:
+            await self.gateway.start()
+        if not self._collector_registered:
+            obs.add_collector(self._refresh_gauges)
+            self._collector_registered = True
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -158,6 +192,8 @@ class SimulationServer:
 
     async def stop(self) -> None:
         """Close the socket, drain in-flight jobs, stop the pool."""
+        if self.gateway is not None:
+            await self.gateway.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -230,6 +266,8 @@ class SimulationServer:
         self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
     ) -> None:
         self.counters["requests"] += 1
+        started = time.perf_counter()
+        verb = "invalid"
         request_id = None
         try:
             request = decode_line(line)
@@ -260,6 +298,8 @@ class SimulationServer:
         except Exception as exc:  # repro: ignore[EXC001] -- service boundary: an error reply beats a hung client
             self.counters["errors"] += 1
             reply = error_response(500, f"{type(exc).__name__}: {exc}", request_id)
+        self._m_requests.labels(verb).inc()
+        self._m_latency.labels(verb).observe(time.perf_counter() - started)
         await self._reply(writer, write_lock, reply)
 
     # ------------------------------------------------------------------ #
@@ -359,6 +399,14 @@ class SimulationServer:
 
     # ------------------------------------------------------------------ #
     def status(self) -> Dict[str, Any]:
+        pool_stats = self.pool.stats()
+        workers = pool_stats.get("workers")
+        idle = pool_stats.get("idle_workers")
+        cache_stats = self.cache.stats.as_dict()
+        lookups = cache_stats["hits"] + cache_stats["misses"]
+        cache_stats["hit_ratio"] = (
+            round(cache_stats["hits"] / lookups, 6) if lookups else None
+        )
         return {
             "address": self.address,
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
@@ -369,8 +417,56 @@ class SimulationServer:
             "quarantine_after": self.quarantine_after,
             "quarantined_jobs": len(self._quarantined),
             "counters": dict(self.counters),
-            "pool": self.pool.stats(),
+            "cache": cache_stats,
+            "pool": pool_stats,
+            "pool_depth": {
+                "workers": workers,
+                "idle": idle,
+                "busy": (workers - idle)
+                if isinstance(workers, int) and isinstance(idle, int)
+                else None,
+                "inflight": len(self._inflight),
+                "max_queue": self.max_queue,
+            },
+            "http": self.gateway.address if self.gateway is not None else None,
         }
+
+    def _refresh_gauges(self) -> None:
+        """Scrape-time collector: copy level/state numbers into the registry.
+
+        Counters maintained elsewhere (the pool's tallies, the status-verb
+        counters dict) are mirrored with ``sync_to`` so they stay monotonic
+        and are never double-counted.
+        """
+        obs.gauge("repro_serve_inflight", "Distinct jobs in flight.").set(
+            len(self._inflight)
+        )
+        obs.gauge("repro_serve_max_queue", "In-flight bound before 429s.").set(
+            self.max_queue
+        )
+        obs.gauge(
+            "repro_serve_quarantined_jobs", "Digests quarantined as poison tasks."
+        ).set(len(self._quarantined))
+        for outcome, value in self.counters.items():
+            self._m_outcomes.labels(outcome).sync_to(value)
+        pool_stats = self.pool.stats()
+        workers = pool_stats.get("workers")
+        if isinstance(workers, int):
+            obs.gauge("repro_serve_pool_workers", "Configured pool size.").set(workers)
+        idle = pool_stats.get("idle_workers")
+        if isinstance(idle, int):
+            obs.gauge(
+                "repro_serve_pool_idle_workers", "Workers parked on the idle queue."
+            ).set(idle)
+        pool_counters = obs.counter(
+            "repro_serve_pool_events_total",
+            "Pool lifecycle tallies mirrored from WorkerPool.stats().",
+            labels=("event",),
+        )
+        for event in ("executed", "failures", "crashes", "timeouts", "idle_respawns"):
+            value = pool_stats.get(event)
+            if isinstance(value, int):
+                pool_counters.labels(event).sync_to(value)
 
     def cache_stats(self) -> Dict[str, Any]:
         from repro.simulation.result_cache import cache_overview

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
-from repro import _env
+from repro import _env, obs
 from repro.coherence.false_sharing import MissClassification
 from repro.coherence.multiprocessor import AccessOutcomeRecord, MultiprocessorMemorySystem
 from repro.coherence.protocol import CoherenceState, DirectoryEntry
@@ -66,6 +66,26 @@ def _limit_lane_chunks(chunks, limit: int):
         else:
             yield chunk.slice(0, remaining)
             return
+
+def _flush_engine_metrics(path: str, records: int) -> None:
+    """One batched metrics flush per engine run.
+
+    Called after the chunk loop — mirroring the per-chunk stat tallies,
+    nothing observable happens per record — so the lane fast path pays a
+    handful of dict operations per *run* for its instrumentation.
+    """
+    obs.counter(
+        "repro_engine_runs_total",
+        "Engine runs by simulation path (lanes fast path vs reference loop).",
+        labels=("path",),
+    ).labels(path).inc()
+    if records:
+        obs.counter(
+            "repro_engine_records_total",
+            "Trace records simulated (warmup + measurement), by path.",
+            labels=("path",),
+        ).labels(path).inc(records)
+
 
 #: A factory building the prefetcher for one CPU.
 PrefetcherFactory = Callable[[int], Prefetcher]
@@ -481,7 +501,9 @@ class SimulationEngine:
                 self._reset_measurement()
             step_lanes = self._step_lanes
             remaining_warmup = warmup_count
+            simulated = 0
             for chunk in lane_chunks:
+                simulated += len(chunk)
                 if not self._measuring:
                     head = len(chunk)
                     if remaining_warmup < head:
@@ -496,6 +518,7 @@ class SimulationEngine:
                         remaining_warmup -= head
                         continue
                 step_lanes(chunk, hooks)
+            _flush_engine_metrics("lanes", simulated)
             return self._finish_run(trace)
 
         if limit is None and isinstance(trace, TraceStream):
@@ -512,7 +535,9 @@ class SimulationEngine:
 
         step = self._step
         remaining_warmup = warmup_count
+        simulated = 0
         for chunk in chunks:
+            simulated += len(chunk)
             if not self._measuring:
                 head = len(chunk)
                 if remaining_warmup < head:
@@ -531,6 +556,7 @@ class SimulationEngine:
             for record in chunk:
                 step(record)
 
+        _flush_engine_metrics("reference", simulated)
         return self._finish_run(trace)
 
     def _finish_run(self, trace) -> SimulationResult:

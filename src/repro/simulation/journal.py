@@ -38,7 +38,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Set, Union
 
-from repro import faults
+from repro import faults, obs
 from repro.simulation.result_cache import entry_prefix
 
 __all__ = ["SweepJournal", "journal_path"]
@@ -145,6 +145,11 @@ class SweepJournal:
                 os.close(fd)
         except OSError:
             return  # a lost journal line costs one recompute on resume
+        obs.counter(
+            "repro_sweep_journal_appends_total",
+            "Journal records appended, by completion status.",
+            labels=("status",),
+        ).labels(status).inc()
         if self._loaded is not None:
             self._loaded[digest] = record
 

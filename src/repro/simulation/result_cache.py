@@ -44,7 +44,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple, Union
 
-from repro import _env, faults
+from repro import _env, faults, obs
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -178,6 +178,7 @@ class SweepResultCache:
             parts.append(")")
         except _Uncacheable:
             self.stats.skipped += 1
+            obs.note_cache_op("sweep", "skip")
             return None
         return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 
@@ -203,10 +204,12 @@ class SweepResultCache:
             data = path.read_bytes()
         except FileNotFoundError:
             self.stats.misses += 1
+            obs.note_cache_op("sweep", "miss")
             return False, None
         except OSError as exc:
             self.stats.errors += 1
             self.stats.misses += 1
+            obs.note_cache_op("sweep", "error", "miss")
             warnings.warn(
                 f"could not read sweep cache entry {path.name}: {exc}",
                 RuntimeWarning,
@@ -219,6 +222,7 @@ class SweepResultCache:
             self.stats.errors += 1
             self.stats.quarantined += 1
             self.stats.misses += 1
+            obs.note_cache_op("sweep", "error", "quarantine", "miss")
             warnings.warn(
                 f"quarantining corrupt sweep cache entry {path.name}: {exc}",
                 RuntimeWarning,
@@ -227,6 +231,7 @@ class SweepResultCache:
             quarantine_file(path, self.directory)
             return False, None
         self.stats.hits += 1
+        obs.note_cache_op("sweep", "hit")
         return True, value
 
     @staticmethod
@@ -279,11 +284,13 @@ class SweepResultCache:
                 raise
         except (OSError, pickle.PicklingError) as exc:
             self.stats.errors += 1
+            obs.note_cache_op("sweep", "error")
             warnings.warn(
                 f"could not store sweep cache entry: {exc}", RuntimeWarning, stacklevel=2
             )
             return
         self.stats.stores += 1
+        obs.note_cache_op("sweep", "store")
 
     # ------------------------------------------------------------------ #
     def clear(self) -> int:
@@ -417,6 +424,13 @@ def prune_cache(directory: Optional[Union[str, Path]] = None) -> dict:
             if path.is_file():
                 removed["quarantined"] += _unlink(path)
     removed["temp_files"] = remove_temp_files(root)
+    pruned = obs.counter(
+        "repro_cache_pruned_total",
+        "Cache entries removed by prune, per cache kind.",
+        labels=("cache",),
+    )
+    pruned.labels("sweep").inc(removed["sweep_entries"])
+    pruned.labels("trace").inc(removed["trace_entries"])
     return removed
 
 

@@ -46,7 +46,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro import _env, faults
+from repro import _env, faults, obs
 from repro.simulation.journal import SweepJournal
 from repro.simulation.result_cache import SweepResultCache, default_cache, remove_temp_files
 
@@ -521,6 +521,24 @@ def default_policy() -> SweepPolicy:
 def _note_report(report: Dict[str, int]) -> None:
     global _last_report
     _last_report = dict(report)
+    # One batched flush per sweep into the process metrics registry: the
+    # per-point tallies already live in ``report``, so no counter is
+    # touched inside the sweep loop itself.
+    points = obs.counter(
+        "repro_sweep_points_total",
+        "Sweep points by outcome (cached includes resumed; executed ran fresh).",
+        labels=("outcome",),
+    )
+    for outcome in ("cached", "resumed", "executed", "failed"):
+        count = report.get(outcome, 0)
+        if count:
+            points.labels(outcome).inc(count)
+    retries = report.get("retries", 0)
+    if retries:
+        obs.counter(
+            "repro_sweep_retries_total", "Per-point retry attempts across sweeps."
+        ).inc(retries)
+    obs.counter("repro_sweep_runs_total", "Completed SweepRunner.run invocations.").inc()
 
 
 def last_sweep_report() -> Optional[Dict[str, int]]:

@@ -661,6 +661,80 @@ class TestROB001:
         ) == []
 
 
+# --------------------------------------------------------------------------- #
+# OBS — observability discipline
+# --------------------------------------------------------------------------- #
+class TestOBS001:
+    def test_direct_wall_clock_delta(self):
+        findings = rules_at(
+            """
+            import time
+
+            def measure(start):
+                return time.time() - start
+            """,
+            path="pkg/devtools/helper.py",  # outside DET002's scope
+        )
+        assert findings == [("OBS001", 5)]
+
+    def test_named_wall_clock_start(self):
+        assert rule_ids(
+            """
+            import time
+
+            def measure():
+                start = time.time()
+                work()
+                return time.time() - start
+            """,
+            path="pkg/devtools/helper.py",
+        ) == ["OBS001"]
+
+    def test_time_ns_variant(self):
+        assert "OBS001" in rule_ids(
+            """
+            from time import time_ns
+
+            def measure(start):
+                return time_ns() - start
+            """,
+            path="pkg/devtools/helper.py",
+        )
+
+    def test_fires_alongside_det002_in_result_modules(self):
+        ids = rule_ids(
+            """
+            import time
+
+            def measure(start):
+                return time.time() - start
+            """
+        )
+        assert "OBS001" in ids and "DET002" in ids
+
+    def test_clean_perf_counter_delta(self):
+        assert rule_ids(
+            """
+            import time
+
+            def measure():
+                start = time.perf_counter()
+                work()
+                return time.perf_counter() - start
+            """,
+            path="pkg/devtools/helper.py",
+        ) == []
+
+    def test_plain_subtraction_not_flagged(self):
+        assert rule_ids(
+            """
+            def delta(a, b):
+                return a - b
+            """,
+            path="pkg/devtools/helper.py",
+        ) == []
+
+
 class TestSuppressions:
     BROAD = """
         def load(path):

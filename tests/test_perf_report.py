@@ -1,0 +1,89 @@
+"""Tests for repro.analysis.perf_report (the perf observatory renderer)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import perf_report
+
+
+def _history_line(sha, rps, speedup):
+    return json.dumps({
+        "git_sha": sha,
+        "timestamp": "2026-08-07T00:00:00Z",
+        "quick": False,
+        "metrics": {"engine_sms_rps": rps, "lane_speedup": speedup},
+    })
+
+
+def _write_history(path, points):
+    path.write_text("\n".join(
+        _history_line(f"sha{i:07d}00000", rps, speedup)
+        for i, (rps, speedup) in enumerate(points)
+    ) + "\n")
+
+
+class TestWriteReport:
+    def test_report_and_svgs(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        _write_history(history, [(100, 3.0), (110, 3.1), (90, 2.9)])
+        out = tmp_path / "report"
+        written = perf_report.write_report(history_path=history, out_dir=out)
+        assert written[0].name == "perf_report.md"
+        names = {p.name for p in written}
+        assert "engine_sms_rps.svg" in names
+        assert "lane_speedup.svg" in names
+        markdown = written[0].read_text()
+        assert "engine + SMS (records/s)" in markdown
+        assert "sha0000002" in markdown  # latest sha, not an older one
+        svg = (out / "engine_sms_rps.svg").read_text()
+        assert "<polyline" in svg and "svg" in svg
+
+    def test_deterministic_rerender(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        _write_history(history, [(100, 3.0), (110, 3.1)])
+        out = tmp_path / "report"
+        first = perf_report.write_report(history_path=history, out_dir=out)
+        before = {p: p.read_bytes() for p in first}
+        second = perf_report.write_report(history_path=history, out_dir=out)
+        assert {p: p.read_bytes() for p in second} == before
+
+    def test_empty_history_degrades(self, tmp_path):
+        written = perf_report.write_report(
+            history_path=tmp_path / "missing.jsonl", out_dir=tmp_path / "out")
+        assert len(written) == 1
+        assert "No benchmark history yet" in written[0].read_text()
+
+    def test_metrics_snapshot_from_file(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        _write_history(history, [(100, 3.0)])
+        snapshot = tmp_path / "metrics.json"
+        snapshot.write_text(json.dumps({"metrics": {
+            "repro_serve_requests_total": {
+                "kind": "counter", "help": "", "label_names": ["verb"],
+                "dropped_label_sets": 0,
+                "samples": [{"labels": {"verb": "sweep"}, "value": 7}],
+            },
+            "repro_serve_request_seconds": {
+                "kind": "histogram", "help": "", "label_names": ["verb"],
+                "dropped_label_sets": 0,
+                "samples": [{"labels": {"verb": "sweep"},
+                             "buckets": {"+Inf": 2}, "count": 2, "sum": 0.5}],
+            },
+        }}))
+        written = perf_report.write_report(
+            history_path=history, metrics_source=str(snapshot),
+            out_dir=tmp_path / "out")
+        markdown = written[0].read_text()
+        assert "`repro_serve_requests_total`" in markdown and "verb=sweep" in markdown
+        assert "n=2, mean=250.00 ms" in markdown
+
+    def test_unreachable_snapshot_degrades(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        _write_history(history, [(100, 3.0)])
+        written = perf_report.write_report(
+            history_path=history,
+            metrics_source=str(tmp_path / "absent.json"),
+            out_dir=tmp_path / "out")
+        markdown = written[0].read_text()
+        assert "No metrics snapshot supplied" in markdown
