@@ -49,6 +49,15 @@ CHECKED_METRICS = (
     ("lane_speedup", "lanes_vs_reference.lane_speedup"),
 )
 
+#: Overhead metrics ``check`` compares against an absolute budget rather
+#: than a trailing median: these are already relative numbers (percent
+#: cost of an instrumentation layer on the lane path), so the guard is
+#: "stay under budget", not "don't drift from history".
+BUDGET_METRICS = (
+    ("trace_overhead_pct", "trace_overhead.overhead_pct", 1.0),
+    ("obs_overhead_pct", "obs_overhead.overhead_pct", 2.0),
+)
+
 
 def _git_sha() -> str:
     try:
@@ -85,6 +94,7 @@ def _extract_metrics(report: dict) -> dict:
         "reference_rps": _dig(report, ("lanes_vs_reference", "reference", "records_per_second")),
         "decode_binary_rps": _dig(report, ("decode", "binary", "records_per_second")),
         "obs_overhead_pct": _dig(report, ("obs_overhead", "overhead_pct")),
+        "trace_overhead_pct": _dig(report, ("trace_overhead", "overhead_pct")),
     }
     return {key: value for key, value in metrics.items() if value is not None}
 
@@ -160,6 +170,16 @@ def command_check(args: argparse.Namespace) -> int:
             print(f"::warning::{display} dropped {drop:.1%} below the "
                   f"trailing median ({latest_value:,} vs {median:,.2f}); "
                   f"threshold {args.threshold:.0%}")
+            regressed.append(metric_name)
+    for metric_name, display, budget in BUDGET_METRICS:
+        latest_value = latest.get("metrics", {}).get(metric_name)
+        if latest_value is None:
+            continue
+        print(f"bench-history: {metric_name} latest={latest_value:+.2f}% "
+              f"budget={budget:.0f}%")
+        if latest_value > budget:
+            print(f"::warning::{display} is {latest_value:+.2f}%, over its "
+                  f"{budget:.0f}% budget")
             regressed.append(metric_name)
     if regressed:
         return 1 if args.strict else 0

@@ -14,6 +14,9 @@ is tracked from PR to PR.  Four sections:
 * **obs_overhead** — CPU-time cost of the ``repro.obs`` instrumentation on
   the lane-path engine, instrumented vs the ``REPRO_OBS=0`` null registry
   (budget: 2%);
+* **trace_overhead** — CPU-time cost of the structured-tracing hooks
+  (``repro.obs.trace``) on the lane-path engine, ``REPRO_TRACE=on`` vs the
+  default ``off`` (budget: 1%);
 * **sweep_cache** — wall-clock for the same figure sweep with a cold and a
   warm result cache, plus the warm/cold speedup; and
 * **pht_backends** — store/lookup throughput and resident-set growth for
@@ -224,6 +227,65 @@ def bench_obs_overhead(trace: dict, sim_records: int, repetitions: int = 3) -> d
     }
 
 
+def bench_trace_overhead(
+    trace: dict, sim_records: int, directory: Path, repetitions: int = 3
+) -> dict:
+    """Lane-path cost of the structured-tracing hooks (``repro.obs.trace``).
+
+    Same interleaved best-of-N CPU-time shape as :func:`bench_obs_overhead`:
+    the lane-path SMS engine runs with ``REPRO_TRACE=off`` (the default —
+    every hook returns the shared null span) and with ``REPRO_TRACE=on``
+    (the run records a real span tree to the cache's trace directory,
+    pointed at a temp dir here).  The budget is 1%: the lane path carries
+    no per-record hook — only one ``engine.run`` span per run — so both
+    sides should be indistinguishable from noise, and a regression here
+    means someone put a span inside the record loop.
+    """
+    limit = min(sim_records, trace["records"])
+
+    def one_run(trace_mode: str) -> float:
+        saved = {
+            name: os.environ.get(name) for name in ("REPRO_TRACE", "REPRO_CACHE_DIR")
+        }
+        os.environ["REPRO_TRACE"] = trace_mode
+        os.environ["REPRO_CACHE_DIR"] = str(directory / "trace-overhead-cache")
+        try:
+            engine = SimulationEngine(
+                SimulationConfig.small(num_cpus=NUM_CPUS),
+                lambda cpu: SpatialMemoryStreaming(SMSConfig.paper_practical()),
+                name="trace-overhead",
+            )
+            stream = stream_trace(trace["paths"]["binary"])
+            cpu_start = time.process_time()
+            engine.run(stream, limit=limit, warmup_accesses=0, lanes=True)
+            return time.process_time() - cpu_start
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+
+    one_run("off")  # untimed warmup
+    untraced = traced = None
+    for _ in range(repetitions):
+        off_cpu = one_run("off")
+        on_cpu = one_run("on")
+        if untraced is None or off_cpu < untraced:
+            untraced = off_cpu
+        if traced is None or on_cpu < traced:
+            traced = on_cpu
+    overhead = (traced - untraced) / untraced if untraced else 0.0
+    return {
+        "records": limit,
+        "repetitions": repetitions,
+        "traced_cpu_seconds": round(traced, 4),
+        "untraced_cpu_seconds": round(untraced, 4),
+        "overhead_pct": round(overhead * 100, 2),
+        "budget_pct": 1.0,
+    }
+
+
 def bench_sweep_cache(scale: float, directory: Path) -> dict:
     from repro.experiments import fig10_region_size
 
@@ -408,6 +470,10 @@ def main(argv=None) -> int:
         obs_overhead = bench_obs_overhead(trace, args.sim_records)
         print(f"  obs overhead: {obs_overhead['overhead_pct']:+.2f}% "
               f"(budget {obs_overhead['budget_pct']:.0f}%)", flush=True)
+        print("benchmarking tracing overhead ...", flush=True)
+        trace_overhead = bench_trace_overhead(trace, args.sim_records, directory)
+        print(f"  trace overhead: {trace_overhead['overhead_pct']:+.2f}% "
+              f"(budget {trace_overhead['budget_pct']:.0f}%)", flush=True)
         print("benchmarking sweep cache ...", flush=True)
         sweep_cache = bench_sweep_cache(args.sweep_scale, directory)
         print("benchmarking PHT backends ...", flush=True)
@@ -425,6 +491,7 @@ def main(argv=None) -> int:
             "engine": engine,
             "lanes_vs_reference": lanes_vs_reference,
             "obs_overhead": obs_overhead,
+            "trace_overhead": trace_overhead,
             "sweep_cache": sweep_cache,
             "pht_backends": pht_backends,
         }

@@ -39,6 +39,7 @@ __all__ = [
     "load_history",
     "load_metrics_snapshot",
     "metric_series",
+    "render_json",
     "render_markdown",
     "render_svg",
     "write_report",
@@ -186,6 +187,43 @@ def _snapshot_lines(snapshot: Dict[str, Any]) -> List[str]:
     lines.append(f"_{shown} sample(s) across {len(metrics)} metric families._")
     lines.append("")
     return lines
+
+
+def render_json(
+    entries: Sequence[dict], snapshot: Optional[Dict[str, Any]] = None
+) -> str:
+    """The same latest/median/delta summary as machine-readable JSON.
+
+    This is the ``repro.cli perf-report --json`` face, for dashboards and
+    CI checks that should not scrape the markdown table.
+    """
+    metrics: Dict[str, Any] = {}
+    for name, label in TRACKED_METRICS:
+        series = metric_series(entries, name)
+        if not series:
+            continue
+        latest_value = series[-1][1]
+        prior = [value for _, value in series[:-1]][-TRAILING_WINDOW:]
+        median = _median(prior) if prior else None
+        delta = (
+            (latest_value - median) / median if prior and median else None
+        )
+        metrics[name] = {
+            "label": label,
+            "latest": latest_value,
+            "trailing_median": median,
+            "delta": delta,
+            "points": len(series),
+        }
+    latest = entries[-1] if entries else {}
+    payload = {
+        "git_sha": latest.get("git_sha"),
+        "timestamp": latest.get("timestamp"),
+        "entries": len(entries),
+        "metrics": metrics,
+        "snapshot": snapshot,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def render_markdown(

@@ -645,6 +645,69 @@ class WallClockDuration(Rule):
         return dotted in WALL_CLOCK_DURATION_SOURCES
 
 
+@register
+class RawClockPair(Rule):
+    id = "OBS002"
+    family = "OBS"
+    title = "hand-rolled span: raw perf_counter start/stop pair"
+    rationale = (
+        "A bare start = time.perf_counter() ... delta measures a duration "
+        "that goes nowhere the observability stack can see: it skips the "
+        "repro_span_seconds histogram and never joins a trace.  Wrap the "
+        "timed region in obs.span()/trace.span() instead, which record the "
+        "same perf_counter delta *and* export it.  The instrumentation "
+        "layer itself (repro/obs) is exempt — raw clock pairs are its job.  "
+        "Where the numeric delta is genuinely needed in-line (a user-facing "
+        "rate display), justify it: # repro: ignore[OBS002] -- <why>."
+    )
+    example_bad = "start = time.perf_counter(); ...; rate = n / (time.perf_counter() - start)"
+    example_fix = "with obs.span('convert'): ...  # or trace.span() for request-scoped timing"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        slashed = "/" + ctx.relpath
+        return not (ctx.relpath.startswith("obs/") or "/obs/" in slashed)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = dataflow.ImportMap(ctx.tree)
+        assigns: Dict[str, ast.AST] = {}
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            if targets and self._is_perf_read(node.value, imports):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        assigns[target.id] = node
+        flagged: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp) or not isinstance(node.op, ast.Sub):
+                continue
+            for side in (node.left, node.right):
+                if not isinstance(side, ast.Name) or side.id not in assigns:
+                    continue
+                anchor = assigns[side.id]
+                if id(anchor) in flagged:
+                    continue
+                flagged.add(id(anchor))
+                # The finding anchors on the *assignment* line so one
+                # justified ignore covers the whole start/stop pair.
+                yield self.finding(
+                    ctx, anchor,
+                    f"raw perf_counter pair ({side.id} = time.perf_counter() "
+                    "... delta); wrap the timed region in obs.span()/"
+                    "trace.span(), or justify with # repro: ignore[OBS002] -- <why>",
+                )
+                break
+
+    @staticmethod
+    def _is_perf_read(node, imports: dataflow.ImportMap) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        return imports.resolve(dataflow.dotted_name(node.func)) == "time.perf_counter"
+
+
 # --------------------------------------------------------------------------- #
 # SUP / SYN — emitted by the walker, registered for the catalog
 # --------------------------------------------------------------------------- #

@@ -51,6 +51,12 @@ memory).
 no-op with the call shape unchanged, which is how
 ``benchmarks/bench_throughput.py`` measures instrumented-vs-uninstrumented
 engine overhead.
+
+Structured tracing (:mod:`repro.obs.trace`, ``REPRO_TRACE=off|on|ratio``)
+is the causal complement to this aggregate layer: request-scoped span
+*trees* that cross the serve protocol and the pool fork boundary.  A
+finished trace span also observes into ``repro_span_seconds``, so the
+two layers always agree.
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro import _env
+from repro.obs import trace
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_MAX_LABEL_SETS,
@@ -76,6 +83,7 @@ __all__ = [
     "NullRegistry",
     "Registry",
     "Span",
+    "trace",
     "counter",
     "gauge",
     "histogram",
@@ -153,6 +161,17 @@ def span(name: str) -> Span:
         "repro_span_seconds", "Duration of instrumented spans.", labels=("span",)
     )
     return family.labels(name).time()
+
+
+def _observe_span_seconds(name: str, seconds: float) -> None:
+    _active.histogram(
+        "repro_span_seconds", "Duration of instrumented spans.", labels=("span",)
+    ).labels(name).observe(seconds)
+
+
+# Trace spans compose with the metrics Span: every finished TraceSpan also
+# lands in the repro_span_seconds histogram through this hook.
+trace._install_metrics_hook(_observe_span_seconds)
 
 
 def note_cache_op(cache: str, *ops: str) -> None:

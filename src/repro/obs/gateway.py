@@ -47,8 +47,25 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
 }
+
+
+class _RequestError(Exception):
+    """A bad request head, carrying the HTTP status it maps onto.
+
+    Raised while parsing so :meth:`MetricsGateway._handle_connection` can
+    answer with a proper status line (408 slow client, 431 oversized head,
+    400 malformed) instead of silently dropping the connection — silent
+    closes look like network faults to a scraper and hide misconfigured
+    clients.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 class MetricsGateway:
@@ -102,10 +119,18 @@ class MetricsGateway:
                 method, target, headers = await asyncio.wait_for(
                     self._read_request_head(reader), REQUEST_TIMEOUT
                 )
-            except (asyncio.TimeoutError, ValueError, ConnectionError, OSError):
+            except asyncio.TimeoutError:
+                status, content_type, body = _json_reply(
+                    408, {"error": "timed out reading request head"}
+                )
+            except _RequestError as exc:
+                status, content_type, body = _json_reply(exc.status, {"error": str(exc)})
+            except (ConnectionError, OSError):
+                # The socket itself failed — there is no one to answer.
                 writer.close()
                 return
-            status, content_type, body = self._respond(method, target, headers)
+            else:
+                status, content_type, body = self._respond(method, target, headers)
             head = (
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: {content_type}\r\n"
@@ -128,18 +153,31 @@ class MetricsGateway:
     async def _read_request_head(
         self, reader: asyncio.StreamReader
     ) -> Tuple[str, str, Dict[str, str]]:
-        """Parse ``(method, target, headers)`` up to the blank line."""
-        request_line = await reader.readline()
+        """Parse ``(method, target, headers)`` up to the blank line.
+
+        Raises :class:`_RequestError` with the right HTTP status: 431 when
+        a line or the whole head busts :data:`MAX_REQUEST_HEAD` (asyncio's
+        stream ``limit`` surfaces the former as ``ValueError``), 400 when
+        the request line does not parse (including a request truncated
+        before its target).
+        """
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            raise _RequestError(431, "request line exceeds limit")
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
-            raise ValueError("malformed request line")
+            raise _RequestError(400, "malformed request line")
         consumed = len(request_line)
         headers: Dict[str, str] = {}
         while True:
-            header = await reader.readline()
+            try:
+                header = await reader.readline()
+            except ValueError:
+                raise _RequestError(431, "request head too large")
             consumed += len(header)
             if consumed > MAX_REQUEST_HEAD:
-                raise ValueError("request head too large")
+                raise _RequestError(431, "request head too large")
             if header in (b"\r\n", b"\n", b""):
                 break
             name, sep, value = header.decode("latin-1").partition(":")

@@ -23,7 +23,8 @@ import time
 from typing import Any, Dict, Optional
 
 from repro import faults
-from repro.serve.protocol import encode
+from repro.obs import trace
+from repro.serve.protocol import TRACE_FIELD, encode
 
 
 class ServeError(RuntimeError):
@@ -97,29 +98,48 @@ class ServeClient:
 
     # ------------------------------------------------------------------ #
     def request_raw(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one already-shaped request object; return the decoded reply."""
+        """Send one already-shaped request object; return the decoded reply.
+
+        When ``REPRO_TRACE`` sampling admits this request (or an ambient
+        span is active on the calling thread), a ``client.request`` span
+        wraps the round trip and its context rides the request's
+        ``trace`` field, making the server's work a child of this span.
+        """
         if self._file is None:
             self.connect()
         assert self._file is not None
-        try:
-            faults.fire("client.send")
-            self._file.write(encode(payload))
-            self._file.flush()
-            # No size cap on replies: the server bounds *request* lines, but
-            # replies (a full experiment table, say) may be arbitrarily long
-            # and truncating one would desync the connection.
-            line = self._file.readline()
-        except OSError as exc:
-            raise ServeError(f"transport error talking to {self._address()}: {exc}") from exc
-        if not line:
-            raise ServeError(f"server at {self._address()} closed the connection")
-        try:
-            reply = json.loads(line.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ServeError(f"malformed reply from {self._address()}: {exc}") from exc
-        if not isinstance(reply, dict):
-            raise ServeError(f"malformed reply from {self._address()}: not an object")
-        return reply
+        with trace.span("client.request", {"verb": payload.get("verb")}) as sp:
+            if sp.recording and TRACE_FIELD not in payload:
+                payload = dict(payload)
+                payload[TRACE_FIELD] = sp.context.as_dict()
+            try:
+                faults.fire("client.send")
+                self._file.write(encode(payload))
+                self._file.flush()
+                # No size cap on replies: the server bounds *request* lines,
+                # but replies (a full experiment table, say) may be
+                # arbitrarily long and truncating one would desync the
+                # connection.
+                line = self._file.readline()
+            except OSError as exc:
+                raise ServeError(
+                    f"transport error talking to {self._address()}: {exc}"
+                ) from exc
+            if not line:
+                raise ServeError(f"server at {self._address()} closed the connection")
+            try:
+                reply = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServeError(f"malformed reply from {self._address()}: {exc}") from exc
+            if not isinstance(reply, dict):
+                raise ServeError(f"malformed reply from {self._address()}: not an object")
+            if sp.recording:
+                sp.set("ok", bool(reply.get("ok")))
+                sp.set("cached", bool(reply.get("cached")))
+                sp.set("coalesced", bool(reply.get("coalesced")))
+                if not reply.get("ok"):
+                    sp.mark_error(str(reply.get("error", "request failed")))
+            return reply
 
     def request(self, verb: str, **params: Any) -> Dict[str, Any]:
         """Send one request; return the full reply object (``ok`` may be False)."""

@@ -40,7 +40,7 @@ from repro.experiments import (
     fig13_breakdown,
 )
 from repro.experiments import common
-from repro.serve.protocol import BAD_REQUEST, VERBS, ProtocolError
+from repro.serve.protocol import BAD_REQUEST, TRACE_FIELD, VERBS, ProtocolError
 from repro.simulation import SimulationConfig, SimulationEngine, TimingModel
 from repro.simulation.result_cache import SweepResultCache
 from repro.workloads.suite import APPLICATION_NAMES, make_workload
@@ -252,7 +252,13 @@ def normalize(request: Mapping[str, Any]) -> Dict[str, Any]:
     verb = request.get("verb")
     if verb not in VERBS:
         raise ProtocolError(BAD_REQUEST, f"unknown verb {verb!r}; choose from {list(VERBS)}")
-    params = {key: value for key, value in request.items() if key not in ("verb", "id")}
+    # verb/id are envelope fields; the trace context is observability
+    # metadata — stripped here so it can never reach the job digest.
+    params = {
+        key: value
+        for key, value in request.items()
+        if key not in ("verb", "id", TRACE_FIELD)
+    }
 
     if verb == "simulate":
         from repro.cli import PREFETCHER_CHOICES

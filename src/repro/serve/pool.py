@@ -40,8 +40,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
-from repro import faults, obs
-from repro.serve.protocol import JOB_FAILED, TASK_TIMEOUT, WORKER_LOST, ProtocolError
+from repro import _env, faults, obs
+from repro.obs import trace
+from repro.serve.protocol import (
+    JOB_FAILED,
+    TASK_TIMEOUT,
+    TRACE_FIELD,
+    WORKER_LOST,
+    ProtocolError,
+)
 
 
 @dataclass(frozen=True)
@@ -51,6 +58,10 @@ class WorkerSettings:
     cache_dir: Optional[str] = None
     trace_cache: bool = True
     scratch_dir: Optional[str] = None
+    #: Raw ``REPRO_TRACE`` value captured at pool construction; exported
+    #: into each worker's environment so sampling survives a spawn start
+    #: (and anything the worker forks in turn inherits it).
+    trace_mode: Optional[str] = None
 
 
 def _worker_main(conn, index: int, settings: WorkerSettings) -> None:
@@ -81,6 +92,8 @@ def _worker_main(conn, index: int, settings: WorkerSettings) -> None:
         # The worker configures itself for its whole lifetime (inherited by
         # anything it forks in turn), so this is an export, not a scope.
         export_env(CACHE_DIR_ENV, settings.cache_dir)
+    if settings.trace_mode is not None:
+        export_env(trace.TRACE_ENV_VAR, settings.trace_mode)
     # Ambient per-item memoization for experiment-verb figure runs.
     set_default_cache(SweepResultCache())
     set_trace_cache(settings.trace_cache)
@@ -98,9 +111,19 @@ def _worker_main(conn, index: int, settings: WorkerSettings) -> None:
             break
         if message is None:
             break
+        # Per-request trace context rides the job message (workers fork
+        # once, so the environment cannot carry per-request ids); popped
+        # before execution so the spec stays exactly what was normalized.
+        trace_ctx = trace.SpanContext.from_dict(message.pop(TRACE_FIELD, None))
         try:
             faults.fire("pool.worker")
-            result = jobs.execute_spec(message)
+            with trace.activate(trace_ctx):
+                with trace.span(
+                    "worker.execute",
+                    {"verb": message.get("verb"), "worker": index},
+                    root=False,
+                ):
+                    result = jobs.execute_spec(message)
             reply = (True, result)
         except Exception as exc:  # repro: ignore[EXC001] -- any job failure is reported to the caller; the warm worker must survive it
             reply = (False, f"{type(exc).__name__}: {exc}")
@@ -158,6 +181,7 @@ class WorkerPool:
             cache_dir=str(cache_dir) if cache_dir else None,
             trace_cache=trace_cache,
             scratch_dir=str(scratch_dir) if scratch_dir else None,
+            trace_mode=_env.read(trace.TRACE_ENV_VAR),
         )
         methods = multiprocessing.get_all_start_methods()
         self._context = multiprocessing.get_context(

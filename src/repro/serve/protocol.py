@@ -56,6 +56,18 @@ worker is killed and respawned; the request may be retried).
 The server retries 503/504 failures internally (bounded, with exponential
 backoff) before reporting them, so the codes a client sees are already
 post-retry.
+
+Trace propagation
+-----------------
+
+A request may carry an optional ``trace`` field — a ``{"trace_id": ...,
+"span_id": ...}`` object naming the client-side span the server's work
+should hang under (see :mod:`repro.obs.trace`).  The field is stripped
+before normalization (it never reaches the job digest, so tracing cannot
+change cache keys or coalescing), forwarded to the pool worker with the
+job, and echoed verbatim in the reply so clients can correlate pipelined
+responses with their spans.  Requests without the field are simply not
+traced; an unparseable ``trace`` value is ignored rather than rejected.
 """
 
 from __future__ import annotations
@@ -77,6 +89,9 @@ TASK_TIMEOUT = 504
 
 #: Verbs the server accepts.
 VERBS = ("simulate", "sweep", "experiment", "status", "cache_stats")
+
+#: Optional request/reply field carrying the propagated trace context.
+TRACE_FIELD = "trace"
 
 
 class ProtocolError(Exception):

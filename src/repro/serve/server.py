@@ -47,6 +47,7 @@ import time
 from typing import Any, Dict, Mapping, Optional
 
 from repro import obs
+from repro.obs import trace
 from repro.obs.gateway import MetricsGateway
 from repro.serve import jobs
 from repro.serve.protocol import (
@@ -54,6 +55,7 @@ from repro.serve.protocol import (
     MAX_LINE,
     POISONED,
     TASK_TIMEOUT,
+    TRACE_FIELD,
     WORKER_LOST,
     ProtocolError,
     decode_line,
@@ -266,29 +268,40 @@ class SimulationServer:
         self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
     ) -> None:
         self.counters["requests"] += 1
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: ignore[OBS002] -- the verb label is unknown until the line parses; the delta feeds the obs histogram below
         verb = "invalid"
         request_id = None
+        trace_payload = None
         try:
             request = decode_line(line)
             request_id = request.get("id")
+            trace_payload = request.get(TRACE_FIELD)
+            trace_ctx = trace.SpanContext.from_dict(trace_payload)
             spec = jobs.normalize(request)
             verb = spec["verb"]
-            if verb == "status":
-                reply = ok_response(self.status(), request_id)
-            elif verb == "cache_stats":
-                # The directory scan stats the whole cache; keep it off the
-                # loop thread (default executor: the dispatch executor's
-                # threads may all be parked on pool calls).
-                overview = await asyncio.get_running_loop().run_in_executor(
-                    None, self.cache_stats
-                )
-                reply = ok_response(overview, request_id)
-            else:
-                raw, cached, coalesced = await self._dispatch(spec)
-                reply = ok_response(
-                    jobs.jsonify(raw), request_id, cached=cached, coalesced=coalesced
-                )
+            # The request span lives on the event loop across awaits, so it
+            # must not join the thread-ambient stack (attach=False); child
+            # work gets the context explicitly.  root=False: the server
+            # only records when a client propagated a trace.
+            with trace.span("serve.request", {"verb": verb}, parent=trace_ctx,
+                            attach=False, root=False) as sp:
+                if verb == "status":
+                    reply = ok_response(self.status(), request_id)
+                elif verb == "cache_stats":
+                    # The directory scan stats the whole cache; keep it off
+                    # the loop thread (default executor: the dispatch
+                    # executor's threads may all be parked on pool calls).
+                    overview = await asyncio.get_running_loop().run_in_executor(
+                        None, self.cache_stats
+                    )
+                    reply = ok_response(overview, request_id)
+                else:
+                    raw, cached, coalesced = await self._dispatch(spec, sp.context)
+                    sp.set("cached", cached)
+                    sp.set("coalesced", coalesced)
+                    reply = ok_response(
+                        jobs.jsonify(raw), request_id, cached=cached, coalesced=coalesced
+                    )
         except ProtocolError as exc:
             if exc.code == BUSY:
                 self.counters["busy_rejections"] += 1
@@ -298,12 +311,16 @@ class SimulationServer:
         except Exception as exc:  # repro: ignore[EXC001] -- service boundary: an error reply beats a hung client
             self.counters["errors"] += 1
             reply = error_response(500, f"{type(exc).__name__}: {exc}", request_id)
+        if trace_payload is not None:
+            reply[TRACE_FIELD] = trace_payload  # echoed for client correlation
         self._m_requests.labels(verb).inc()
         self._m_latency.labels(verb).observe(time.perf_counter() - started)
         await self._reply(writer, write_lock, reply)
 
     # ------------------------------------------------------------------ #
-    async def _dispatch(self, spec: Mapping[str, Any]):
+    async def _dispatch(
+        self, spec: Mapping[str, Any], ctx: Optional[trace.SpanContext] = None
+    ):
         """Serve one pool-verb spec; returns ``(raw_result, cached, coalesced)``."""
         digest = jobs.digest_for(spec, self.cache)
         if digest is not None and digest in self._quarantined:
@@ -318,7 +335,7 @@ class SimulationServer:
             # connection while it loads.  (Not the dispatch executor — its
             # threads may all be parked on blocking pool calls.)
             hit, value = await asyncio.get_running_loop().run_in_executor(
-                None, self.cache.get, digest
+                None, self._with_trace, ctx, self.cache.get, digest
             )
             if hit:
                 self.counters["cache_hits"] += 1
@@ -334,15 +351,37 @@ class SimulationServer:
                 BUSY,
                 f"busy: {len(self._inflight)} job(s) in flight (max_queue={self.max_queue})",
             )
-        task = asyncio.ensure_future(self._execute(spec, digest))
+        task = asyncio.ensure_future(self._execute(spec, digest, ctx))
         if digest is not None:
             self._inflight[digest] = task
         return await asyncio.shield(task), False, False
 
-    async def _execute(self, spec: Mapping[str, Any], digest: Optional[str]) -> Any:
+    def _with_trace(self, ctx: Optional[trace.SpanContext], fn, *args) -> Any:
+        """Run ``fn`` on an executor thread under the request's trace context,
+        so spans created inside (cache get/put) nest under the request."""
+        with trace.activate(ctx):
+            return fn(*args)
+
+    def _pool_call(
+        self, ctx: Optional[trace.SpanContext], spec: Dict[str, Any], attempt: int
+    ) -> Any:
+        """One blocking pool dispatch, wrapped in a ``serve.execute`` span
+        whose context rides to the worker on the job message."""
+        with trace.span("serve.execute", {"verb": spec.get("verb"), "attempt": attempt},
+                        parent=ctx, attach=False, root=False) as sp:
+            if sp.recording:
+                spec[TRACE_FIELD] = sp.context.as_dict()
+            return self.pool.execute(spec, task_timeout=self.task_timeout)
+
+    async def _execute(
+        self,
+        spec: Mapping[str, Any],
+        digest: Optional[str],
+        ctx: Optional[trace.SpanContext] = None,
+    ) -> Any:
         loop = asyncio.get_running_loop()
         try:
-            raw = await self._execute_with_retries(loop, spec, digest)
+            raw = await self._execute_with_retries(loop, spec, digest, ctx)
             self.counters["executed"] += 1
             if digest is not None:
                 # The front-end stores the raw result (same convention as
@@ -351,14 +390,20 @@ class SimulationServer:
                 # runs off-loop; the job stays in _inflight until the entry
                 # is durable, so an identical request arriving meanwhile
                 # coalesces instead of re-executing.
-                await loop.run_in_executor(None, self.cache.put, digest, raw)
+                await loop.run_in_executor(
+                    None, self._with_trace, ctx, self.cache.put, digest, raw
+                )
             return raw
         finally:
             if digest is not None:
                 self._inflight.pop(digest, None)
 
     async def _execute_with_retries(
-        self, loop: asyncio.AbstractEventLoop, spec: Mapping[str, Any], digest: Optional[str]
+        self,
+        loop: asyncio.AbstractEventLoop,
+        spec: Mapping[str, Any],
+        digest: Optional[str],
+        ctx: Optional[trace.SpanContext] = None,
     ) -> Any:
         """Run the blocking pool call, absorbing transient worker faults.
 
@@ -376,7 +421,7 @@ class SimulationServer:
             try:
                 return await loop.run_in_executor(
                     self._executor,
-                    lambda: self.pool.execute(dict(spec), task_timeout=self.task_timeout),
+                    lambda attempt=attempts: self._pool_call(ctx, dict(spec), attempt),
                 )
             except ProtocolError as exc:
                 if exc.code not in (WORKER_LOST, TASK_TIMEOUT):

@@ -31,6 +31,7 @@ from itertools import islice
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro import _env, obs
+from repro.obs import trace as obs_trace
 from repro.coherence.false_sharing import MissClassification
 from repro.coherence.multiprocessor import AccessOutcomeRecord, MultiprocessorMemorySystem
 from repro.coherence.protocol import CoherenceState, DirectoryEntry
@@ -51,6 +52,53 @@ from repro.workloads.base import WorkloadMetadata
 
 #: Environment switch for the lane fast path (``0``/``false``/``off`` disable).
 LANES_ENV_VAR = "REPRO_ENGINE_LANES"
+
+#: Environment variable enabling the simulation-time telemetry probe: a
+#: positive integer N samples prediction quality every N measured records.
+TELEMETRY_ENV_VAR = "REPRO_TRACE_TELEMETRY"
+
+
+class _TelemetryProbe:
+    """Samples prediction quality over trace position, once per interval.
+
+    ``note`` is called at chunk boundaries only (the lane fast path stays
+    batched; per-record work is untouched), and reads counters the engine
+    already maintains — the probe never mutates simulation state, so
+    results with and without it are byte-identical.
+    """
+
+    __slots__ = ("engine", "interval", "samples", "_next")
+
+    def __init__(self, engine: "SimulationEngine", interval: int) -> None:
+        self.engine = engine
+        self.interval = interval
+        self.samples: List[Dict[str, float]] = []
+        self._next = interval
+
+    def note(self, position: int) -> None:
+        """Record one sample when ``position`` crossed the next boundary.
+
+        A chunk spanning several boundaries yields one sample (the counters
+        at its end), keeping sample cost proportional to chunks, not
+        records.
+        """
+        if position < self._next:
+            return
+        self._next = (position // self.interval + 1) * self.interval
+        result = self.engine.result
+        occupancy = 0
+        for prefetcher in self.engine.prefetchers:
+            pht = getattr(prefetcher, "pht", None)
+            if pht is not None:
+                occupancy += getattr(pht, "occupancy", 0)
+        self.samples.append({
+            "position": position,
+            "accesses": result.accesses,
+            "l1_coverage": round(result.l1_coverage(), 6),
+            "l2_coverage": round(result.l2_coverage(), 6),
+            "l1_overprediction_rate": round(result.l1_overprediction_rate(), 6),
+            "pht_occupancy": occupancy,
+        })
 
 
 def _limit_lane_chunks(chunks, limit: int):
@@ -130,6 +178,12 @@ class SimulationResult:
     # Bandwidth accounting.
     traffic: Optional[BandwidthAccountant] = None
     workload: Optional[WorkloadMetadata] = None
+
+    # Simulation-time telemetry (``{"interval": N, "samples": [...]}``),
+    # populated only when the probe is enabled.  Deliberately excluded
+    # from :meth:`as_dict`: the golden counters must stay byte-identical
+    # whether or not the probe ran.
+    telemetry: Optional[Dict] = None
 
     # ------------------------------------------------------------------ #
     # Derived metrics
@@ -460,6 +514,19 @@ class SimulationEngine:
             chunks = _limit_lane_chunks(chunks, limit)
         return chunks, hooks
 
+    def _resolve_telemetry(self, telemetry_interval: Optional[int]) -> Optional[int]:
+        """Probe interval: explicit argument, then ``REPRO_TRACE_TELEMETRY``."""
+        if telemetry_interval is not None:
+            return telemetry_interval if telemetry_interval > 0 else None
+        value = _env.read(TELEMETRY_ENV_VAR)
+        if not value:
+            return None
+        try:
+            interval = int(value)
+        except ValueError:
+            return None
+        return interval if interval > 0 else None
+
     def run(
         self,
         trace: Iterable[MemoryAccess],
@@ -467,6 +534,7 @@ class SimulationEngine:
         warmup_accesses: Optional[int] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         lanes: Optional[bool] = None,
+        telemetry_interval: Optional[int] = None,
     ) -> SimulationResult:
         """Run ``trace`` through the engine and return the measurement-phase result.
 
@@ -488,7 +556,41 @@ class SimulationEngine:
         reference loop whenever the trace or a prefetcher cannot go
         lane-to-lane.  Both paths are bit-identical (gated by the golden
         counter tests).
+
+        ``telemetry_interval`` (or ``REPRO_TRACE_TELEMETRY=N``) enables the
+        simulation-time probe: every N measured records — sampled at chunk
+        boundaries, so the fast path stays batched — prediction quality
+        (coverage, overprediction, PHT occupancy) is recorded and exposed
+        as ``result.telemetry``.  The probe reads counters only; golden
+        results are identical with and without it.
         """
+        interval = self._resolve_telemetry(telemetry_interval)
+        probe = _TelemetryProbe(self, interval) if interval else None
+        with obs_trace.span(
+            "engine.run", {"engine": self.name or "engine", "cpus": self.config.num_cpus}
+        ) as span:
+            result = self._run_impl(trace, limit, warmup_accesses, chunk_size, lanes, probe)
+            if probe is not None:
+                result.telemetry = {"interval": probe.interval, "samples": probe.samples}
+                # When a trace is active, the time-series also lands in the
+                # trace file so trace-report can plot it next to the spans.
+                obs_trace.emit("telemetry", obs_trace.current(), {
+                    "name": self.name or "engine",
+                    "interval": probe.interval,
+                    "samples": probe.samples,
+                })
+            span.set("accesses", result.accesses)
+            return result
+
+    def _run_impl(
+        self,
+        trace: Iterable[MemoryAccess],
+        limit: Optional[int],
+        warmup_accesses: Optional[int],
+        chunk_size: int,
+        lanes: Optional[bool],
+        probe: Optional[_TelemetryProbe],
+    ) -> SimulationResult:
         warmup_count = self._resolve_warmup_count(trace, limit, warmup_accesses)
 
         lane_path = (
@@ -518,6 +620,8 @@ class SimulationEngine:
                         remaining_warmup -= head
                         continue
                 step_lanes(chunk, hooks)
+                if probe is not None:
+                    probe.note(simulated - warmup_count)
             _flush_engine_metrics("lanes", simulated)
             return self._finish_run(trace)
 
@@ -555,6 +659,8 @@ class SimulationEngine:
                     continue
             for record in chunk:
                 step(record)
+            if probe is not None:
+                probe.note(simulated - warmup_count)
 
         _flush_engine_metrics("reference", simulated)
         return self._finish_run(trace)

@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Set, Union
 
 from repro import faults, obs
+from repro.obs import trace
 from repro.simulation.result_cache import entry_prefix
 
 __all__ = ["SweepJournal", "journal_path"]
@@ -130,21 +131,25 @@ class SweepJournal:
         record = {"digest": digest, "status": status}
         record.update(fields)
         line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
-        spec = faults.check("journal.append")
-        if spec is not None:
-            if spec.kind in faults.MANGLING_KINDS:
-                line = faults.mangle(spec, line)
-            else:
-                faults.act(spec)
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            fd = os.open(str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        with trace.span(
+            "journal.append", {"status": status, "digest": digest[:16]}, root=False
+        ) as span:
+            spec = faults.check("journal.append")
+            if spec is not None:
+                if spec.kind in faults.MANGLING_KINDS:
+                    line = faults.mangle(spec, line)
+                else:
+                    faults.act(spec)
             try:
-                os.write(fd, line)
-            finally:
-                os.close(fd)
-        except OSError:
-            return  # a lost journal line costs one recompute on resume
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+                try:
+                    os.write(fd, line)
+                finally:
+                    os.close(fd)
+            except OSError:
+                span.mark_error("journal append failed")
+                return  # a lost journal line costs one recompute on resume
         obs.counter(
             "repro_sweep_journal_appends_total",
             "Journal records appended, by completion status.",

@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Tuple, Union
 
 from repro import _env, faults, obs
+from repro.obs import trace
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -200,39 +201,44 @@ class SweepResultCache:
         failed sweep or a silently wrong result.
         """
         path = self._entry_path(digest)
-        try:
-            data = path.read_bytes()
-        except FileNotFoundError:
-            self.stats.misses += 1
-            obs.note_cache_op("sweep", "miss")
-            return False, None
-        except OSError as exc:
-            self.stats.errors += 1
-            self.stats.misses += 1
-            obs.note_cache_op("sweep", "error", "miss")
-            warnings.warn(
-                f"could not read sweep cache entry {path.name}: {exc}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return False, None
-        try:
-            value = self._decode(data)
-        except Exception as exc:  # repro: ignore[EXC001] -- corrupt entry: quarantine and recompute, don't fail the sweep
-            self.stats.errors += 1
-            self.stats.quarantined += 1
-            self.stats.misses += 1
-            obs.note_cache_op("sweep", "error", "quarantine", "miss")
-            warnings.warn(
-                f"quarantining corrupt sweep cache entry {path.name}: {exc}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            quarantine_file(path, self.directory)
-            return False, None
-        self.stats.hits += 1
-        obs.note_cache_op("sweep", "hit")
-        return True, value
+        with trace.span("cache.get", {"digest": digest[:16]}, root=False) as span:
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                self.stats.misses += 1
+                obs.note_cache_op("sweep", "miss")
+                span.set("outcome", "miss")
+                return False, None
+            except OSError as exc:
+                self.stats.errors += 1
+                self.stats.misses += 1
+                obs.note_cache_op("sweep", "error", "miss")
+                span.mark_error(f"unreadable entry: {exc}")
+                warnings.warn(
+                    f"could not read sweep cache entry {path.name}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return False, None
+            try:
+                value = self._decode(data)
+            except Exception as exc:  # repro: ignore[EXC001] -- corrupt entry: quarantine and recompute, don't fail the sweep
+                self.stats.errors += 1
+                self.stats.quarantined += 1
+                self.stats.misses += 1
+                obs.note_cache_op("sweep", "error", "quarantine", "miss")
+                span.mark_error(f"quarantined corrupt entry: {exc}")
+                warnings.warn(
+                    f"quarantining corrupt sweep cache entry {path.name}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                quarantine_file(path, self.directory)
+                return False, None
+            self.stats.hits += 1
+            obs.note_cache_op("sweep", "hit")
+            span.set("outcome", "hit")
+            return True, value
 
     @staticmethod
     def _decode(data: bytes) -> Any:
@@ -256,41 +262,46 @@ class SweepResultCache:
         :meth:`get` can detect torn and corrupted writes.
         """
         path = self._entry_path(digest)
-        try:
-            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-            data = ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
-            spec = faults.check("cache.put")
-            if spec is not None:
-                if spec.kind in faults.MANGLING_KINDS:
-                    data = faults.mangle(spec, data)
-                else:
-                    faults.act(spec)
-            self.directory.mkdir(parents=True, exist_ok=True)
-            # The writer's pid is embedded in the staging name so interrupt
-            # cleanup can remove exactly its own leftovers without racing
-            # the atomic writes of sibling processes sharing the directory.
-            fd, temp_name = tempfile.mkstemp(
-                dir=str(self.directory), suffix=f".{os.getpid()}.tmp"
-            )
+        with trace.span("cache.put", {"digest": digest[:16]}, root=False) as span:
             try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(data)
-                os.replace(temp_name, path)
-            except BaseException:  # repro: ignore[EXC001] -- re-raised after removing the staging temp file
+                payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                data = ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
+                spec = faults.check("cache.put")
+                if spec is not None:
+                    if spec.kind in faults.MANGLING_KINDS:
+                        data = faults.mangle(spec, data)
+                    else:
+                        faults.act(spec)
+                self.directory.mkdir(parents=True, exist_ok=True)
+                # The writer's pid is embedded in the staging name so
+                # interrupt cleanup can remove exactly its own leftovers
+                # without racing the atomic writes of sibling processes
+                # sharing the directory.
+                fd, temp_name = tempfile.mkstemp(
+                    dir=str(self.directory), suffix=f".{os.getpid()}.tmp"
+                )
                 try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
-        except (OSError, pickle.PicklingError) as exc:
-            self.stats.errors += 1
-            obs.note_cache_op("sweep", "error")
-            warnings.warn(
-                f"could not store sweep cache entry: {exc}", RuntimeWarning, stacklevel=2
-            )
-            return
-        self.stats.stores += 1
-        obs.note_cache_op("sweep", "store")
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(data)
+                    os.replace(temp_name, path)
+                except BaseException:  # repro: ignore[EXC001] -- re-raised after removing the staging temp file
+                    try:
+                        os.unlink(temp_name)
+                    except OSError:
+                        pass
+                    raise
+            except (OSError, pickle.PicklingError) as exc:
+                self.stats.errors += 1
+                obs.note_cache_op("sweep", "error")
+                span.mark_error(f"store failed: {exc}")
+                warnings.warn(
+                    f"could not store sweep cache entry: {exc}", RuntimeWarning,
+                    stacklevel=2,
+                )
+                return
+            self.stats.stores += 1
+            obs.note_cache_op("sweep", "store")
+            span.set("bytes", len(data))
 
     # ------------------------------------------------------------------ #
     def clear(self) -> int:

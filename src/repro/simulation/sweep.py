@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro import _env, faults, obs
+from repro.obs import trace
 from repro.simulation.journal import SweepJournal
 from repro.simulation.result_cache import SweepResultCache, default_cache, remove_temp_files
 
@@ -213,50 +214,56 @@ class SweepRunner:
             "executed": 0, "failed": 0, "retries": 0,
         }
         self.report = report
-        if not tasks:
-            _note_report(report)
-            return []
-        cache = self.cache
-        results: List[Any] = [None] * len(tasks)
-        digests: List[Optional[str]] = [None] * len(tasks)
-        pending: List[int] = []
-        journal_done = (
-            self.journal.completed()
-            if (self.journal is not None and cache is not None)
-            else set()
-        )
-        if cache is None:
-            pending = list(range(len(tasks)))
-        else:
-            for index, task in enumerate(tasks):
-                digest = cache.fingerprint(task.fn, task.args, task.kwargs)
-                digests[index] = digest
-                if digest is not None:
-                    hit, value = cache.get(digest)
-                    if hit:
-                        results[index] = value
-                        report["cached"] += 1
-                        if digest in journal_done:
-                            report["resumed"] += 1
-                        continue
-                pending.append(index)
-        if pending:
-            try:
-                self._execute_pending(tasks, pending, digests, results, report)
-            except KeyboardInterrupt:
-                # Scoped to this process's own staging files: a sibling sweep
-                # or a serve daemon sharing the cache directory may have
-                # atomic writes in flight that must not be yanked from under
-                # it.  Completed points are already cached and journaled, so
-                # a rerun resumes where this one stopped.
-                remove_temp_files(
-                    cache.directory if cache is not None else None,
-                    pids={os.getpid()},
-                )
+        # The sweep span is the trace parent of every point, cache op, and
+        # journal append below (all on this thread, so ambient nesting
+        # works); in a serve worker it nests under the worker's span.
+        with trace.span("sweep.run", {"total": len(tasks)}) as sweep_span:
+            if not tasks:
                 _note_report(report)
-                raise
-        _note_report(report)
-        return results
+                return []
+            cache = self.cache
+            results: List[Any] = [None] * len(tasks)
+            digests: List[Optional[str]] = [None] * len(tasks)
+            pending: List[int] = []
+            journal_done = (
+                self.journal.completed()
+                if (self.journal is not None and cache is not None)
+                else set()
+            )
+            if cache is None:
+                pending = list(range(len(tasks)))
+            else:
+                for index, task in enumerate(tasks):
+                    digest = cache.fingerprint(task.fn, task.args, task.kwargs)
+                    digests[index] = digest
+                    if digest is not None:
+                        hit, value = cache.get(digest)
+                        if hit:
+                            results[index] = value
+                            report["cached"] += 1
+                            if digest in journal_done:
+                                report["resumed"] += 1
+                            continue
+                    pending.append(index)
+            if pending:
+                try:
+                    self._execute_pending(tasks, pending, digests, results, report)
+                except KeyboardInterrupt:
+                    # Scoped to this process's own staging files: a sibling
+                    # sweep or a serve daemon sharing the cache directory may
+                    # have atomic writes in flight that must not be yanked
+                    # from under it.  Completed points are already cached and
+                    # journaled, so a rerun resumes where this one stopped.
+                    remove_temp_files(
+                        cache.directory if cache is not None else None,
+                        pids={os.getpid()},
+                    )
+                    _note_report(report)
+                    raise
+            _note_report(report)
+            for outcome in ("cached", "resumed", "executed", "failed", "retries"):
+                sweep_span.set(outcome, report[outcome])
+            return results
 
     # ------------------------------------------------------------------ #
     def _execute_pending(
@@ -376,7 +383,13 @@ class SweepRunner:
                     time.sleep(delay)
             attempts += 1
             try:
-                value = _run_task(task)
+                # One span per attempt, so a retried point shows as sibling
+                # sweep.point spans with increasing attempt numbers.
+                with trace.span(
+                    "sweep.point", {"key": str(task.key), "attempt": attempts},
+                    root=False,
+                ):
+                    value = _run_task(task)
             except Exception as exc:  # repro: ignore[EXC001] -- retried, then re-raised or recorded in the failure manifest
                 if attempts <= self.max_retries:
                     continue

@@ -713,6 +713,9 @@ class TestOBS001:
         assert "OBS001" in ids and "DET002" in ids
 
     def test_clean_perf_counter_delta(self):
+        # Clean for OBS001 (no wall clock) — but a raw perf_counter pair is
+        # now its own finding, OBS002: the duration should flow through
+        # obs.span()/trace.span().
         assert rule_ids(
             """
             import time
@@ -723,13 +726,96 @@ class TestOBS001:
                 return time.perf_counter() - start
             """,
             path="pkg/devtools/helper.py",
-        ) == []
+        ) == ["OBS002"]
 
     def test_plain_subtraction_not_flagged(self):
         assert rule_ids(
             """
             def delta(a, b):
                 return a - b
+            """,
+            path="pkg/devtools/helper.py",
+        ) == []
+
+
+class TestOBS002:
+    def test_perf_counter_pair_flagged_at_assignment(self):
+        findings = rules_at(
+            """
+            import time
+
+            def measure():
+                start = time.perf_counter()
+                work()
+                return time.perf_counter() - start
+            """,
+            path="pkg/devtools/helper.py",
+        )
+        # Anchored on the assignment line so one ignore covers the pair.
+        assert findings == [("OBS002", 5)]
+
+    def test_from_import_alias(self):
+        assert "OBS002" in rule_ids(
+            """
+            from time import perf_counter as clock
+
+            def measure():
+                t0 = clock()
+                work()
+                return clock() - t0
+            """,
+            path="pkg/devtools/helper.py",
+        )
+
+    def test_obs_package_exempt(self):
+        source = """
+            import time
+
+            def observe():
+                start = time.perf_counter()
+                work()
+                return time.perf_counter() - start
+            """
+        assert "OBS002" not in rule_ids(source, path="pkg/obs/registry.py")
+        assert "OBS002" in rule_ids(source, path="pkg/serve/server.py")
+
+    def test_monotonic_deadline_not_flagged(self):
+        # Deadline arithmetic on time.monotonic() is not a span.
+        assert rule_ids(
+            """
+            import time
+
+            def wait(timeout):
+                deadline = time.monotonic() + timeout
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return
+            """,
+            path="pkg/devtools/helper.py",
+        ) == []
+
+    def test_read_without_delta_not_flagged(self):
+        assert rule_ids(
+            """
+            import time
+
+            def stamp(record):
+                record["at"] = time.perf_counter()
+                return record
+            """,
+            path="pkg/devtools/helper.py",
+        ) == []
+
+    def test_justified_ignore_suppresses(self):
+        assert rule_ids(
+            """
+            import time
+
+            def rate(n):
+                start = time.perf_counter()  # repro: ignore[OBS002] -- user-facing rate display
+                work()
+                return n / (time.perf_counter() - start)
             """,
             path="pkg/devtools/helper.py",
         ) == []

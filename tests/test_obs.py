@@ -408,3 +408,106 @@ class TestGatewayEndToEnd:
         assert missing_status == 404
         assert "/metrics" in json.loads(missing_body)["routes"]
         assert post_status == 405
+
+
+class TestGatewayErrorPaths:
+    """Malformed, oversized, and dawdling requests get proper status lines.
+
+    urllib cannot send these on purpose, so each test speaks raw bytes over
+    a socket (in an executor, keeping the gateway's event loop free) and
+    parses the reply head by hand.
+    """
+
+    @staticmethod
+    def _exchange(host, port, payload, pause_after=None):
+        """Send ``payload`` and return the raw response bytes."""
+        import socket
+
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(payload)
+            if pause_after is None:
+                sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            return b"".join(chunks)
+
+    def _run(self, payload, pause=False, timeout=None):
+        async def scenario():
+            import repro.obs.gateway as gateway_mod
+
+            original_timeout = gateway_mod.REQUEST_TIMEOUT
+            if timeout is not None:
+                gateway_mod.REQUEST_TIMEOUT = timeout
+            gateway = MetricsGateway(port=0, registry=Registry())
+            await gateway.start()
+            try:
+                return await asyncio.get_event_loop().run_in_executor(
+                    None, self._exchange, gateway.host, gateway.port,
+                    payload, pause or None,
+                )
+            finally:
+                await gateway.stop()
+                gateway_mod.REQUEST_TIMEOUT = original_timeout
+
+        raw = asyncio.run(scenario())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        reason = lines[0].split(None, 2)[2]
+        headers = dict(
+            line.split(": ", 1) for line in lines[1:] if ": " in line
+        )
+        return status, reason, headers, json.loads(body)
+
+    def test_oversized_request_line_gets_431(self):
+        from repro.obs.gateway import MAX_REQUEST_HEAD
+
+        payload = b"GET /" + b"a" * (MAX_REQUEST_HEAD + 1024) + b" HTTP/1.1\r\n\r\n"
+        status, reason, headers, body = self._run(payload)
+        assert status == 431
+        assert reason == "Request Header Fields Too Large"
+        assert headers["Connection"] == "close"
+        assert "limit" in body["error"]
+
+    def test_oversized_headers_get_431(self):
+        from repro.obs.gateway import MAX_REQUEST_HEAD
+
+        # Each line is modest; the *total* head busts the cap.
+        filler = b"".join(
+            b"X-Pad-%d: %s\r\n" % (index, b"y" * 900) for index in range(20)
+        )
+        assert len(filler) > MAX_REQUEST_HEAD
+        payload = b"GET /healthz HTTP/1.1\r\n" + filler + b"\r\n"
+        status, reason, headers, body = self._run(payload)
+        assert status == 431
+        assert body["error"] == "request head too large"
+        assert headers["Connection"] == "close"
+
+    def test_slow_loris_gets_408(self):
+        # A client that sends half a request line and goes quiet must get
+        # a timeout reply, not hold the connection open forever.
+        status, reason, headers, body = self._run(
+            b"GET /metr", pause=True, timeout=0.2,
+        )
+        assert status == 408
+        assert reason == "Request Timeout"
+        assert "timed out" in body["error"]
+        assert headers["Connection"] == "close"
+
+    def test_truncated_request_line_gets_400(self):
+        status, reason, headers, body = self._run(b"GE\r\n\r\n")
+        assert status == 400
+        assert reason == "Bad Request"
+        assert body["error"] == "malformed request line"
+        assert headers["Connection"] == "close"
+
+    def test_eof_before_target_gets_400(self):
+        # The connection closes after the bare method: readline returns the
+        # partial line at EOF and the parse fails on a missing target.
+        status, _, _, body = self._run(b"GET\r\n")
+        assert status == 400
+        assert body["error"] == "malformed request line"
